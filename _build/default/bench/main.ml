@@ -1,0 +1,509 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§9) on the simulated testbed, plus the
+   ablations called out in DESIGN.md and a Bechamel microbenchmark of
+   the hot paths.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- table1  -- one experiment
+     (targets: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 ww
+               ablation micro)
+
+   Absolute numbers come from the simulator's calibrated constants
+   (see EXPERIMENTS.md); what must match the paper is the SHAPE —
+   who wins, by what factor, where it saturates. Paper reference
+   values are printed alongside. *)
+
+open Simkit
+module T = Workloads.Testbed
+module V = Workloads.Vfs
+
+let mb = 1024 * 1024
+
+(* The paper's testbed: 7 Petal servers x 9 RZ29s; AdvFS machine has
+   8 local RZ29s. *)
+let frangipani_vfs ?(nvram = false) ?config () =
+  let t = T.build ~petal_servers:7 ~ndisks:9 ~nvram ~disk_capacity:(128 * mb) () in
+  (t, V.of_frangipani (T.add_server t ?config ()))
+
+let advfs_vfs ?(nvram = false) () =
+  let host = Cluster.Host.create "advfs" in
+  V.of_advfs
+    (Advfs.create ~host ~config:{ Advfs.default_config with nvram } ())
+
+let columns = [ "AdvFS Raw"; "AdvFS NVR"; "Frangipani Raw"; "Frangipani NVR" ]
+
+let four_columns (run : V.t -> 'a) : 'a list =
+  [
+    Sim.run (fun () -> run (advfs_vfs ()));
+    Sim.run (fun () -> run (advfs_vfs ~nvram:true ()));
+    Sim.run (fun () -> run (snd (frangipani_vfs ())));
+    Sim.run (fun () -> run (snd (frangipani_vfs ~nvram:true ())));
+  ]
+
+let hrule = String.make 78 '-'
+
+(* --- Table 1: Modified Andrew Benchmark --------------------------------- *)
+
+let table1 () =
+  print_endline hrule;
+  print_endline "Table 1: Modified Andrew Benchmark, elapsed seconds per phase";
+  print_endline
+    "(paper: Frangipani is comparable to AdvFS on this workload; NVRAM\n\
+    \ helps the metadata-heavy phases)";
+  let results = four_columns (fun v -> Workloads.Andrew.run v ~root_name:"mab") in
+  Printf.printf "%-20s %14s %14s %14s %14s\n" "Phase" (List.nth columns 0)
+    (List.nth columns 1) (List.nth columns 2) (List.nth columns 3);
+  let phases = (List.hd results).Workloads.Andrew.phases in
+  List.iteri
+    (fun i p ->
+      Printf.printf "%-20s %14.2f %14.2f %14.2f %14.2f\n"
+        p.Workloads.Andrew.phase
+        (List.nth (List.nth results 0).Workloads.Andrew.phases i).Workloads.Andrew.seconds
+        (List.nth (List.nth results 1).Workloads.Andrew.phases i).Workloads.Andrew.seconds
+        (List.nth (List.nth results 2).Workloads.Andrew.phases i).Workloads.Andrew.seconds
+        (List.nth (List.nth results 3).Workloads.Andrew.phases i).Workloads.Andrew.seconds)
+    phases;
+  Printf.printf "%-20s %14.2f %14.2f %14.2f %14.2f\n" "Total"
+    (List.nth results 0).Workloads.Andrew.total
+    (List.nth results 1).Workloads.Andrew.total
+    (List.nth results 2).Workloads.Andrew.total
+    (List.nth results 3).Workloads.Andrew.total
+
+(* --- Table 2: Connectathon-style operations ------------------------------- *)
+
+let table2 () =
+  print_endline hrule;
+  print_endline "Table 2: basic file-system operations, elapsed seconds";
+  print_endline
+    "(paper: with write-ahead logging both systems have fast creates;\n\
+    \ NVRAM removes most synchronous-write latency)";
+  let results = four_columns (fun v -> Workloads.Connectathon.run v ~root_name:"cth") in
+  Printf.printf "%-20s %6s %14s %14s %14s %14s\n" "Test" "ops" (List.nth columns 0)
+    (List.nth columns 1) (List.nth columns 2) (List.nth columns 3);
+  List.iteri
+    (fun i row ->
+      let cell k = (List.nth (List.nth results k) i).Workloads.Connectathon.seconds in
+      Printf.printf "%-20s %6d %14.3f %14.3f %14.3f %14.3f\n"
+        row.Workloads.Connectathon.test row.Workloads.Connectathon.ops (cell 0)
+        (cell 1) (cell 2) (cell 3))
+    (List.hd results)
+
+(* --- Table 3: large-file throughput and CPU utilisation ------------------- *)
+
+let table3 () =
+  print_endline hrule;
+  print_endline "Table 3: single-machine large-file throughput / CPU utilisation";
+  print_endline
+    "(paper:           Write MB/s  CPU     Read MB/s  CPU\n\
+    \  Frangipani          15.3    42%        10.3    25%\n\
+    \  AdvFS               13.3    80%        13.2    50%)";
+  let run v =
+    let w = Workloads.Largefile.write_seq v ~name:"big" ~mb:16 in
+    let r = Workloads.Largefile.read_seq v ~name:"big" in
+    (w, r)
+  in
+  let fw, fr = Sim.run (fun () -> run (snd (frangipani_vfs ()))) in
+  let aw, ar = Sim.run (fun () -> run (advfs_vfs ())) in
+  let open Workloads.Largefile in
+  Printf.printf "%-14s %10s %6s %12s %6s\n" "measured:" "Write MB/s" "CPU" "Read MB/s" "CPU";
+  Printf.printf "%-14s %10.1f %5.0f%% %12.1f %5.0f%%\n" "Frangipani" fw.mb_per_s
+    (100. *. fw.cpu_utilization) fr.mb_per_s (100. *. fr.cpu_utilization);
+  Printf.printf "%-14s %10.1f %5.0f%% %12.1f %5.0f%%\n" "AdvFS" aw.mb_per_s
+    (100. *. aw.cpu_utilization) ar.mb_per_s (100. *. ar.cpu_utilization);
+  (* The paper's small-read aside: 30 processes reading separate 8 KB
+     files reach ~80% of the raw-device small-read limit. *)
+  let s = Sim.run (fun () -> Workloads.Largefile.small_reads (snd (frangipani_vfs ())) ~nfiles:30) in
+  Printf.printf
+    "small files:   30 parallel 8 KB uncached reads: %.1f MB/s (paper: 6.3 MB/s)\n"
+    s.mb_per_s
+
+(* --- Figure 5: MAB latency vs number of servers ---------------------------- *)
+
+let fig5 () =
+  print_endline hrule;
+  print_endline "Figure 5: Modified Andrew Benchmark elapsed time vs #servers";
+  print_endline
+    "(paper: essentially flat — only +8% from 1 to 6 servers, since the\n\
+    \ benchmark exhibits almost no write sharing)";
+  Printf.printf "%-8s %12s %12s\n" "servers" "avg sec" "vs 1 server";
+  let one = ref 0.0 in
+  List.iter
+    (fun n ->
+      let avg =
+        Sim.run (fun () ->
+            let t = T.build ~petal_servers:7 ~ndisks:9 () in
+            let vfss = List.init n (fun i -> (i, V.of_frangipani (T.add_server t ()))) in
+            let totals = ref [] in
+            let pending = ref n in
+            let all = Sim.Ivar.create () in
+            List.iter
+              (fun (i, v) ->
+                Sim.spawn (fun () ->
+                    let r =
+                      Workloads.Andrew.run v ~root_name:(Printf.sprintf "mab%d" i)
+                    in
+                    totals := r.Workloads.Andrew.total :: !totals;
+                    decr pending;
+                    if !pending = 0 then Sim.Ivar.fill all ()))
+              vfss;
+            Sim.Ivar.read all;
+            List.fold_left ( +. ) 0.0 !totals /. float_of_int n)
+      in
+      if n = 1 then one := avg;
+      Printf.printf "%-8d %12.2f %+11.1f%%\n" n avg ((avg /. !one -. 1.0) *. 100.0))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* --- Figure 6: uncached read scaling ---------------------------------------- *)
+
+let fig6 () =
+  print_endline hrule;
+  print_endline "Figure 6: aggregate uncached-read throughput vs #servers";
+  print_endline "(paper: excellent, near-linear scaling)";
+  Printf.printf "%-8s %16s %16s\n" "servers" "aggregate MB/s" "linear would be";
+  let nfiles = 8 and fmb = 2 in
+  let one = ref 0.0 in
+  List.iter
+    (fun n ->
+      let agg =
+        Sim.run (fun () ->
+            let t = T.build ~petal_servers:7 ~ndisks:9 ~disk_capacity:(128 * mb) () in
+            let vfss = List.init n (fun _ -> V.of_frangipani (T.add_server t ())) in
+            (* One server creates the shared set of files. *)
+            let v0 = List.hd vfss in
+            let chunk = Bytes.make 65536 'r' in
+            List.iter
+              (fun f ->
+                let inum = v0.V.create ~dir:v0.V.root (Printf.sprintf "f%d" f) in
+                for k = 0 to (fmb * mb / 65536) - 1 do
+                  v0.V.write inum ~off:(k * 65536) chunk
+                done)
+              (List.init nfiles Fun.id);
+            v0.V.sync ();
+            List.iter (fun v -> v.V.drop_caches ()) vfss;
+            (* Everybody reads the same set of files, staggered. *)
+            let t0 = Sim.now () in
+            let pending = ref n in
+            let all = Sim.Ivar.create () in
+            List.iteri
+              (fun i v ->
+                Sim.spawn (fun () ->
+                    for fo = 0 to nfiles - 1 do
+                      let f = (fo + i) mod nfiles in
+                      let inum = v.V.lookup ~dir:v.V.root (Printf.sprintf "f%d" f) in
+                      for k = 0 to (fmb * mb / 65536) - 1 do
+                        ignore (v.V.read inum ~off:(k * 65536) ~len:65536)
+                      done
+                    done;
+                    decr pending;
+                    if !pending = 0 then Sim.Ivar.fill all ()))
+              vfss;
+            Sim.Ivar.read all;
+            float_of_int (n * nfiles * fmb) /. Sim.to_sec (Sim.now () - t0))
+      in
+      if n = 1 then one := agg;
+      Printf.printf "%-8d %16.1f %16.1f\n" n agg (!one *. float_of_int n))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* --- Figure 7: write scaling -------------------------------------------------- *)
+
+let fig7 () =
+  print_endline hrule;
+  print_endline "Figure 7: aggregate write throughput vs #servers (private files)";
+  print_endline
+    "(paper: scales until the Petal servers' links saturate; the virtual\n\
+    \ disk is replicated, so each write turns into two Petal writes)";
+  Printf.printf "%-8s %16s %16s\n" "servers" "aggregate MB/s" "linear would be";
+  let fmb = 8 in
+  let one = ref 0.0 in
+  List.iter
+    (fun n ->
+      let agg =
+        Sim.run (fun () ->
+            let t = T.build ~petal_servers:7 ~ndisks:9 ~disk_capacity:(256 * mb) () in
+            let vfss = List.init n (fun _ -> V.of_frangipani (T.add_server t ())) in
+            let t0 = Sim.now () in
+            let pending = ref n in
+            let all = Sim.Ivar.create () in
+            List.iteri
+              (fun i v ->
+                Sim.spawn (fun () ->
+                    let inum = v.V.create ~dir:v.V.root (Printf.sprintf "w%d" i) in
+                    let chunk = Bytes.make 65536 'w' in
+                    for k = 0 to (fmb * mb / 65536) - 1 do
+                      v.V.write inum ~off:(k * 65536) chunk
+                    done;
+                    v.V.sync ();
+                    decr pending;
+                    if !pending = 0 then Sim.Ivar.fill all ()))
+              vfss;
+            Sim.Ivar.read all;
+            float_of_int (n * fmb) /. Sim.to_sec (Sim.now () - t0))
+      in
+      if n = 1 then one := agg;
+      Printf.printf "%-8d %16.1f %16.1f\n" n agg (!one *. float_of_int n))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* --- Figures 8/9 and write/write sharing -------------------------------------- *)
+
+let contention_run ~config ~readers ~write_bytes =
+  Sim.run (fun () ->
+      let t = T.build ~petal_servers:7 ~ndisks:9 () in
+      let writer = V.of_frangipani (T.add_server t ~config ()) in
+      let rs = List.init readers (fun _ -> V.of_frangipani (T.add_server t ~config ())) in
+      Workloads.Contention.readers_vs_writer ~reader_vfss:rs ~writer_vfs:writer
+        ~write_bytes ~duration:(Sim.sec 60.0))
+
+let fig8 () =
+  print_endline hrule;
+  print_endline "Figure 8: reader/writer contention - aggregate read MB/s vs #readers";
+  print_endline
+    "(paper: with read-ahead the curve flattens around 2 MB/s — revoked\n\
+    \ locks waste the prefetched data; disabling read-ahead restores scaling)";
+  let base = Frangipani.Ctx.default_config in
+  Printf.printf "%-8s %20s %20s\n" "readers" "read-ahead ON MB/s" "read-ahead OFF MB/s";
+  List.iter
+    (fun n ->
+      let on = contention_run ~config:base ~readers:n ~write_bytes:mb in
+      let off =
+        contention_run
+          ~config:{ base with Frangipani.Ctx.read_ahead = 0 }
+          ~readers:n ~write_bytes:mb
+      in
+      Printf.printf "%-8d %20.2f %20.2f\n" n on.Workloads.Contention.read_mb_per_s
+        off.Workloads.Contention.read_mb_per_s)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let fig9 () =
+  print_endline hrule;
+  print_endline "Figure 9: shared-data size vs read throughput (read-ahead off)";
+  print_endline
+    "(paper: the less data the writer rewrites, the faster it yields the\n\
+    \ lock, and the more the readers get through)";
+  let config = { Frangipani.Ctx.default_config with Frangipani.Ctx.read_ahead = 0 } in
+  Printf.printf "%-8s %14s %14s %14s\n" "readers" "8 KB MB/s" "16 KB MB/s" "64 KB MB/s";
+  List.iter
+    (fun n ->
+      let r sz = (contention_run ~config ~readers:n ~write_bytes:sz).Workloads.Contention.read_mb_per_s in
+      Printf.printf "%-8d %14.2f %14.2f %14.2f\n" n (r 8192) (r 16384) (r 65536))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let ww () =
+  print_endline hrule;
+  print_endline "Write/write sharing (§9.4, third experiment):";
+  print_endline
+    "(paper: servers writing disjoint regions of one file still serialise\n\
+    \ on the whole-file lock, each write forcing a flush at the holder)";
+  Printf.printf "%-8s %20s\n" "writers" "aggregate write MB/s";
+  List.iter
+    (fun n ->
+      let thr =
+        Sim.run (fun () ->
+            let t = T.build ~petal_servers:7 ~ndisks:9 () in
+            let ws = List.init n (fun _ -> V.of_frangipani (T.add_server t ())) in
+            Workloads.Contention.writers_sharing ~writer_vfss:ws
+              ~duration:(Sim.sec 60.0))
+      in
+      Printf.printf "%-8d %20.2f\n" n thr)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* --- ablations ------------------------------------------------------------------ *)
+
+let ablation () =
+  print_endline hrule;
+  print_endline "Ablations of the design choices called out in DESIGN.md";
+  (* a) synchronous vs asynchronous logging (§4 option). *)
+  let creates config =
+    Sim.run (fun () ->
+        let t = T.build ~petal_servers:7 ~ndisks:9 () in
+        let v = V.of_frangipani (T.add_server t ~config ()) in
+        let t0 = Sim.now () in
+        for i = 0 to 99 do
+          ignore (v.V.create ~dir:v.V.root (Printf.sprintf "f%d" i))
+        done;
+        Sim.to_sec (Sim.now () - t0) *. 10.0 (* ms per create *))
+  in
+  let base = Frangipani.Ctx.default_config in
+  Printf.printf "a) metadata logging: async %.2f ms/create, sync %.2f ms/create\n"
+    (creates base)
+    (creates { base with Frangipani.Ctx.synchronous_log = true });
+  (* b) synchronous logging with NVRAM at the Petal servers. *)
+  let creates_nvram =
+    Sim.run (fun () ->
+        let t = T.build ~petal_servers:7 ~ndisks:9 ~nvram:true () in
+        let v =
+          V.of_frangipani
+            (T.add_server t ~config:{ base with Frangipani.Ctx.synchronous_log = true } ())
+        in
+        let t0 = Sim.now () in
+        for i = 0 to 99 do
+          ignore (v.V.create ~dir:v.V.root (Printf.sprintf "f%d" i))
+        done;
+        Sim.to_sec (Sim.now () - t0) *. 10.0)
+  in
+  Printf.printf "b) sync logging + NVRAM: %.2f ms/create (NVRAM absorbs the latency)\n"
+    creates_nvram;
+  (* c) replication factor. *)
+  let write_thr nrep =
+    Sim.run (fun () ->
+        let t = T.build ~petal_servers:7 ~ndisks:9 ~nrep ~disk_capacity:(128 * mb) () in
+        let v = V.of_frangipani (T.add_server t ()) in
+        (Workloads.Largefile.write_seq v ~name:"big" ~mb:16).Workloads.Largefile.mb_per_s)
+  in
+  Printf.printf "c) replication: 1 copy %.1f MB/s, 2 copies %.1f MB/s write\n"
+    (write_thr 1) (write_thr 2);
+  (* d) lock granularity under read/write sharing (the paper's
+     future-work experiment). *)
+  let shared granularity =
+    (contention_run
+       ~config:{ base with Frangipani.Ctx.block_locks = granularity; read_ahead = 0 }
+       ~readers:4 ~write_bytes:65536)
+      .Workloads.Contention.read_mb_per_s
+  in
+  Printf.printf
+    "d) 4 readers + writer: whole-file locks %.2f MB/s, block locks %.2f MB/s read\n"
+    (shared false) (shared true);
+  (* e) read-ahead depth (uncontended). *)
+  Printf.printf "e) read-ahead depth vs uncached sequential read:\n";
+  List.iter
+    (fun depth ->
+      let r =
+        Sim.run (fun () ->
+            let t = T.build ~petal_servers:7 ~ndisks:9 ~disk_capacity:(128 * mb) () in
+            let v =
+              V.of_frangipani
+                (T.add_server t ~config:{ base with Frangipani.Ctx.read_ahead = depth } ())
+            in
+            ignore (Workloads.Largefile.write_seq v ~name:"big" ~mb:8);
+            (Workloads.Largefile.read_seq v ~name:"big").Workloads.Largefile.mb_per_s)
+      in
+      Printf.printf "   depth %3d blocks: %6.1f MB/s\n" depth r)
+    [ 0; 16; 32; 64; 128 ];
+  (* f) the §2.2 client/server configuration: what the extra protocol
+     hop costs a remote client versus running on the server itself. *)
+  let local_t, remote_t =
+    Sim.run (fun () ->
+        let t = T.build ~petal_servers:7 ~ndisks:9 () in
+        let fs = T.add_server t () in
+        Frangipani.Export.serve fs (T.rpc_of t fs);
+        let _, crpc = T.fresh_client t "remote" in
+        let c = Frangipani.Export.connect ~rpc:crpc ~server:(T.addr_of t fs) in
+        let chunk = Bytes.make 8192 'x' in
+        let bench_local () =
+          let t0 = Sim.now () in
+          for i = 0 to 49 do
+            let f = Frangipani.Fs.create fs ~dir:Frangipani.Fs.root (Printf.sprintf "l%d" i) in
+            Frangipani.Fs.write fs f ~off:0 chunk;
+            ignore (Frangipani.Fs.read fs f ~off:0 ~len:8192)
+          done;
+          Sim.to_sec (Sim.now () - t0)
+        in
+        let bench_remote () =
+          let t0 = Sim.now () in
+          for i = 0 to 49 do
+            let f = Frangipani.Export.create c ~dir:Frangipani.Export.root (Printf.sprintf "r%d" i) in
+            Frangipani.Export.write c f ~off:0 chunk;
+            ignore (Frangipani.Export.read c f ~off:0 ~len:8192)
+          done;
+          Sim.to_sec (Sim.now () - t0)
+        in
+        (bench_local (), bench_remote ()))
+  in
+  Printf.printf
+    "f) §2.2 remote clients: 50 create+write+read cycles, local %.0f ms vs \
+     remote %.0f ms (+%.0f%% protocol hop)\n"
+    (local_t *. 1000.) (remote_t *. 1000.)
+    ((remote_t /. local_t -. 1.0) *. 100.)
+
+(* --- Bechamel microbenchmarks ------------------------------------------------------ *)
+
+let micro () =
+  print_endline hrule;
+  print_endline "Bechamel microbenchmarks of hot paths (real host time)";
+  let open Bechamel in
+  let sector = Bytes.make 512 'x' in
+  let diffs =
+    List.init 4 (fun i ->
+        { Frangipani.Wal.addr = i * 512; doff = 8; data = Bytes.make 64 'd'; version = i })
+  in
+  let inode = { Frangipani.Ondisk.empty_inode with size = 123456; nlink = 3 } in
+  let encoded = Frangipani.Ondisk.encode_inode inode in
+  let inode_sector = Bytes.make 512 '\000' in
+  Bytes.blit encoded 0 inode_sector 8 (Bytes.length encoded);
+  let tests =
+    [
+      Test.make ~name:"crc32-512B" (Staged.stage (fun () -> Stdext.Crc32.bytes sector 0 512));
+      Test.make ~name:"wal-serialize-record"
+        (Staged.stage (fun () -> Frangipani.Wal.serialize_for_bench diffs));
+      Test.make ~name:"inode-encode"
+        (Staged.stage (fun () -> Frangipani.Ondisk.encode_inode inode));
+      Test.make ~name:"inode-decode"
+        (Staged.stage (fun () -> Frangipani.Ondisk.decode_inode inode_sector));
+      Test.make ~name:"dir-slot-scan"
+        (Staged.stage (fun () ->
+             let found = ref 0 in
+             for k = 0 to Frangipani.Layout.dir_slots_per_sector - 1 do
+               match Frangipani.Ondisk.read_slot sector k with
+               | Some _ -> incr found
+               | None -> ()
+             done;
+             !found));
+      Test.make ~name:"codec-cursor-roundtrip"
+        (Staged.stage (fun () ->
+             let w = Stdext.Codec.W.create () in
+             for i = 0 to 15 do
+               Stdext.Codec.W.int w i
+             done;
+             let r = Stdext.Codec.R.of_bytes (Stdext.Codec.W.contents w) in
+             let acc = ref 0 in
+             for _ = 0 to 15 do
+               acc := !acc + Stdext.Codec.R.int r
+             done;
+             !acc));
+    ]
+  in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let res = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) -> Printf.printf "%-28s %10.1f ns/op\n" name t
+          | _ -> Printf.printf "%-28s (no estimate)\n" name)
+        res)
+    tests
+
+(* --- driver -------------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("ww", ww);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+      names

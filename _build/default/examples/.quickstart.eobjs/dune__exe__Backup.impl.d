@@ -1,0 +1,1 @@
+examples/backup.ml: Backup Bytes Frangipani Fs List Path Printf Sim Simkit String Workloads

@@ -1,0 +1,1 @@
+examples/contention.ml: Frangipani List Printf Sim Simkit Workloads

@@ -1,0 +1,1 @@
+examples/failover.ml: Array Bytes Cluster Frangipani Fs Fun List Logs Path Petal Printf Sim Simkit Workloads

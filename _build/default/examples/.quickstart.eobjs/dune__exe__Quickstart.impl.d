@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Frangipani Fs List Path Petal Printf Sim Simkit Workloads

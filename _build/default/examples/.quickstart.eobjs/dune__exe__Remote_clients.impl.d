@@ -1,0 +1,1 @@
+examples/remote_clients.ml: Bytes Export Frangipani Fs Printf Sim Simkit Workloads

@@ -1,0 +1,1 @@
+examples/scaling.ml: Bytes Frangipani Fs List Printf Sim Simkit Workloads

@@ -1,0 +1,80 @@
+(* Online backup (paper §8): quiesce the cluster through the global
+   barrier lock, snapshot the Petal virtual disk, and mount the
+   snapshot read-only — while the live file system keeps running.
+
+   Run with: dune exec examples/backup.exe *)
+
+open Simkit
+open Frangipani
+module T = Workloads.Testbed
+
+let () =
+  Sim.run (fun () ->
+      let t = T.build ~petal_servers:4 ~ndisks:4 () in
+      let fs = T.add_server t ~name:"server" () in
+
+      ignore (Path.mkdir_p fs "/mail");
+      for i = 0 to 9 do
+        ignore
+          (Path.write_file fs
+             (Printf.sprintf "/mail/msg%d" i)
+             (Bytes.of_string (Printf.sprintf "message %d, version 1" i)))
+      done;
+
+      (* A writer keeps modifying the mailbox while the backup runs. *)
+      let writing = ref true in
+      Sim.spawn (fun () ->
+          let rec loop v =
+            if !writing then begin
+              for i = 0 to 9 do
+                ignore
+                  (Path.write_file fs
+                     (Printf.sprintf "/mail/msg%d" i)
+                     (Bytes.of_string (Printf.sprintf "message %d, version %d" i v)))
+              done;
+              Sim.sleep (Sim.ms 500);
+              loop (v + 1)
+            end
+          in
+          loop 2);
+      Sim.sleep (Sim.sec 2.0);
+
+      (* The backup program is just another lock-service client. *)
+      let _, brpc = T.fresh_client t "backup-host" in
+      let backup = Backup.connect ~rpc:brpc ~lock_servers:t.T.lock_addrs ~table:"fs0" in
+      let vd = T.open_vdisk t ~rpc:brpc t.T.vdisk_id in
+      let t0 = Sim.now () in
+      let snap_id = Backup.snapshot backup vd in
+      Printf.printf "snapshot %d taken in %.0f ms (barrier + Petal COW)\n" snap_id
+        (Sim.to_sec (Sim.now () - t0) *. 1000.0);
+      Sim.sleep (Sim.sec 2.0);
+      writing := false;
+
+      (* Mount the snapshot read-only under its own lock table: it is
+         file-system consistent, so no recovery is needed. *)
+      let mh, mrpc = T.fresh_client t "restore-host" in
+      let vd_snap = T.open_vdisk t ~rpc:mrpc snap_id in
+      let snap_fs =
+        Fs.mount ~host:mh ~rpc:mrpc ~vd:vd_snap ~lock_servers:t.T.lock_addrs
+          ~table:"fs0@backup" ~readonly:true ()
+      in
+      (* Every message in the snapshot is from one consistent version
+         cut, even though writes were racing the backup. *)
+      let versions =
+        List.init 10 (fun i ->
+            let data = Path.read_file snap_fs (Printf.sprintf "/mail/msg%d" i) in
+            String.sub (Bytes.to_string data)
+              (String.length "message 0, version ")
+              (Bytes.length data - String.length "message 0, version "))
+      in
+      Printf.printf "snapshot versions: %s\n" (String.concat "," versions);
+      Printf.printf "live version now:  %s\n"
+        (Bytes.to_string (Path.read_file fs "/mail/msg0"));
+      (* "Users get quick access to accidentally deleted files" (§1):
+         restore one message from the online backup. *)
+      Path.unlink fs "/mail/msg3";
+      let saved = Path.read_file snap_fs "/mail/msg3" in
+      ignore (Path.write_file fs "/mail/msg3" saved);
+      Printf.printf "restored /mail/msg3 from the online snapshot: %s\n"
+        (Bytes.to_string saved);
+      print_endline "backup example finished.")

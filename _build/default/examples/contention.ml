@@ -1,0 +1,49 @@
+(* Contention: what whole-file locks cost under write sharing
+   (paper §9.4).
+
+   One server keeps rewriting a file while readers stream it; the
+   whole-file lock ping-pongs, and with read-ahead enabled the
+   readers throw away prefetched data on every revoke — the anomaly
+   of Figure 8. Run the same workload with read-ahead off and with
+   the (future-work) block-granularity locks to see both remedies.
+
+   Run with: dune exec examples/contention.exe *)
+
+open Simkit
+module T = Workloads.Testbed
+module V = Workloads.Vfs
+module C = Workloads.Contention
+
+let experiment ~label ~config ~readers:n =
+  Sim.run (fun () ->
+      let t = T.build ~petal_servers:5 ~ndisks:6 () in
+      let writer = V.of_frangipani (T.add_server t ~config ()) in
+      let readers = List.init n (fun _ -> V.of_frangipani (T.add_server t ~config ())) in
+      let r =
+        C.readers_vs_writer ~reader_vfss:readers ~writer_vfs:writer
+          ~write_bytes:(1024 * 1024) ~duration:(Sim.sec 30.0)
+      in
+      Printf.printf "%-24s readers=%d  read %6.2f MB/s  write %6.2f MB/s\n" label n
+        r.C.read_mb_per_s r.C.write_mb_per_s)
+
+let () =
+  let base = Frangipani.Ctx.default_config in
+  print_endline "-- whole-file locks, read-ahead on (Figure 8 anomaly) --";
+  List.iter
+    (fun n -> experiment ~label:"read-ahead on" ~config:base ~readers:n)
+    [ 1; 3; 5 ];
+  print_endline "-- whole-file locks, read-ahead off (Figure 8 fix) --";
+  List.iter
+    (fun n ->
+      experiment ~label:"read-ahead off"
+        ~config:{ base with Frangipani.Ctx.read_ahead = 0 }
+        ~readers:n)
+    [ 1; 3; 5 ];
+  print_endline "-- block-granularity locks (the paper's future work) --";
+  List.iter
+    (fun n ->
+      experiment ~label:"block locks"
+        ~config:{ base with Frangipani.Ctx.block_locks = true; read_ahead = 0 }
+        ~readers:n)
+    [ 1; 3; 5 ];
+  print_endline "contention example finished."

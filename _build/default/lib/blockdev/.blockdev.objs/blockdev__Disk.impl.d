@@ -1,0 +1,1 @@
+lib/blockdev/disk.ml: Bytes Hashtbl Printf Sim Simkit

@@ -1,0 +1,1 @@
+lib/blockdev/nvram.ml: Bytes Disk Hashtbl List Queue Sim Simkit Storage

@@ -1,0 +1,1 @@
+lib/blockdev/nvram.mli: Disk Simkit Storage

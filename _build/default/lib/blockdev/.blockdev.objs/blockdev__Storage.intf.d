@@ -1,0 +1,1 @@
+lib/blockdev/storage.mli: Disk

@@ -1,0 +1,121 @@
+open Simkit
+
+exception Failed of string
+exception Bad_sector of int
+
+let sector_size = 512
+
+(* Backing store granule: 64 KB slabs allocated on first touch, so a
+   mostly-empty multi-gigabyte disk costs almost no host memory. *)
+let slab_bytes = 65536
+
+type t = {
+  dname : string;
+  capacity : int;
+  avg_seek : Sim.time;
+  xfer_bps : int;
+  slabs : (int, bytes) Hashtbl.t;
+  damaged : (int, unit) Hashtbl.t; (* sector number -> () *)
+  arm : Sim.Resource.t;
+  mutable pos : int; (* last byte offset touched, for the seek model *)
+  mutable failed : bool;
+}
+
+let create ?(capacity = 4_300_000_000) ?(avg_seek = Sim.ms 9)
+    ?(transfer_bytes_per_sec = 6_000_000) dname =
+  {
+    dname;
+    capacity;
+    avg_seek;
+    xfer_bps = transfer_bytes_per_sec;
+    slabs = Hashtbl.create 1024;
+    damaged = Hashtbl.create 7;
+    arm = Sim.Resource.create (dname ^ ".arm");
+    pos = 0;
+    failed = false;
+  }
+
+let name t = t.dname
+let capacity t = t.capacity
+let arm t = t.arm
+let fail t = t.failed <- true
+let heal t = t.failed <- false
+let is_failed t = t.failed
+let damage_sector t s = Hashtbl.replace t.damaged s ()
+
+let check t ~off ~len =
+  if t.failed then raise (Failed t.dname);
+  if off < 0 || len < 0 || off + len > t.capacity then
+    invalid_arg (Printf.sprintf "%s: I/O out of range (off=%d len=%d)" t.dname off len);
+  if off mod sector_size <> 0 || len mod sector_size <> 0 then
+    invalid_arg (Printf.sprintf "%s: unaligned I/O (off=%d len=%d)" t.dname off len)
+
+(* Service time: seek proportional to arm travel plus media transfer.
+   base + stroke/3 averages to [avg_seek] for uniformly random
+   targets; sequential access pays only a settle time. *)
+let service_time t ~off ~len =
+  let seek =
+    if off = t.pos then Sim.us 200
+    else begin
+      let dist = abs (off - t.pos) in
+      let base = t.avg_seek / 3 in
+      let stroke = 2 * t.avg_seek in
+      base + int_of_float (float_of_int stroke *. float_of_int dist /. float_of_int t.capacity)
+    end
+  in
+  let transfer = int_of_float (float_of_int len /. float_of_int t.xfer_bps *. 1e9) in
+  seek + transfer
+
+let slab_for t idx =
+  match Hashtbl.find_opt t.slabs idx with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make slab_bytes '\000' in
+    Hashtbl.replace t.slabs idx b;
+    b
+
+(* Copy [len] bytes between the slab store and [buf], in [dir]
+   [`In] = store -> buf, [`Out] = buf -> store. *)
+let move t ~off buf ~dir =
+  let len = Bytes.length buf in
+  let rec go doff boff =
+    if boff < len then begin
+      let idx = doff / slab_bytes in
+      let within = doff mod slab_bytes in
+      let n = min (slab_bytes - within) (len - boff) in
+      let slab = slab_for t idx in
+      (match dir with
+      | `In -> Bytes.blit slab within buf boff n
+      | `Out -> Bytes.blit buf boff slab within n);
+      go (doff + n) (boff + n)
+    end
+  in
+  go off 0
+
+let read t ~off ~len =
+  check t ~off ~len;
+  Sim.Resource.acquire t.arm;
+  Sim.sleep (service_time t ~off ~len);
+  t.pos <- off + len;
+  Sim.Resource.release t.arm;
+  if t.failed then raise (Failed t.dname);
+  let s0 = off / sector_size and s1 = (off + len) / sector_size in
+  Hashtbl.iter
+    (fun s () -> if s >= s0 && s < s1 then raise (Bad_sector s))
+    t.damaged;
+  let buf = Bytes.create len in
+  move t ~off buf ~dir:`In;
+  buf
+
+let write t ~off data =
+  check t ~off ~len:(Bytes.length data);
+  Sim.Resource.acquire t.arm;
+  Sim.sleep (service_time t ~off ~len:(Bytes.length data));
+  t.pos <- off + Bytes.length data;
+  Sim.Resource.release t.arm;
+  if t.failed then raise (Failed t.dname);
+  move t ~off data ~dir:`Out;
+  let s0 = off / sector_size and s1 = (off + Bytes.length data) / sector_size in
+  for s = s0 to s1 - 1 do
+    Hashtbl.remove t.damaged s
+  done

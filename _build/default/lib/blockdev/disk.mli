@@ -1,0 +1,55 @@
+(** Simulated physical disk.
+
+    Stores real bytes, sector-addressed, with a seek + rotation +
+    transfer service-time model. Default timing parameters are
+    calibrated to the DIGITAL RZ29 drives of the paper's testbed:
+    9 ms average access, 6 MB/s sustained transfer, 4.3 GB capacity.
+
+    A write of a single 512-byte sector is atomic — the failure
+    assumption Frangipani's logging relies on (paper §4). Sectors can
+    be artificially damaged to exercise CRC-error recovery paths. *)
+
+type t
+
+exception Failed of string
+(** Raised by I/O on a disk that has suffered a hard failure. *)
+
+exception Bad_sector of int
+(** Raised when reading a damaged sector (models a CRC error);
+    carries the sector number. *)
+
+val sector_size : int
+(** 512 bytes. *)
+
+val create :
+  ?capacity:int ->
+  ?avg_seek:Simkit.Sim.time ->
+  ?transfer_bytes_per_sec:int ->
+  string ->
+  t
+(** [create name] builds a disk. [capacity] is in bytes (default
+    4.3 GB), [avg_seek] the average positioning time (default 9 ms),
+    [transfer_bytes_per_sec] the media rate (default 6 MB/s). *)
+
+val name : t -> string
+val capacity : t -> int
+
+val read : t -> off:int -> len:int -> bytes
+(** Blocking sector-aligned read; unwritten space reads as zeros. *)
+
+val write : t -> off:int -> bytes -> unit
+(** Blocking sector-aligned write. *)
+
+val arm : t -> Simkit.Sim.Resource.t
+(** The disk-arm queueing resource, exposed for utilisation stats. *)
+
+val fail : t -> unit
+(** Hard-fail the disk: all subsequent I/O raises {!Failed}. *)
+
+val heal : t -> unit
+
+val damage_sector : t -> int -> unit
+(** Mark one sector as returning CRC errors on read (until it is
+    next overwritten). *)
+
+val is_failed : t -> bool

@@ -1,0 +1,117 @@
+open Simkit
+
+type state = {
+  disk : Disk.t;
+  capacity : int;
+  write_latency : Sim.time;
+  bytes_per_sec : int;
+  table : (int, bytes) Hashtbl.t; (* pending writes, keyed by offset *)
+  order : int Queue.t;
+  mutable used : int;
+  space_freed : Sim.Condition.t;
+  work : Sim.Condition.t;
+  port : Sim.Resource.t; (* NVRAM bus: one transfer at a time *)
+}
+
+let overlaps ~off ~len (o, b) = o < off + len && off < o + Bytes.length b
+
+let destager st () =
+  let rec loop () =
+    match Queue.take_opt st.order with
+    | None ->
+      Sim.Condition.wait st.work;
+      loop ()
+    | Some off ->
+      (match Hashtbl.find_opt st.table off with
+      | None -> () (* superseded by a newer write at the same offset *)
+      | Some data ->
+        Disk.write st.disk ~off data;
+        (* Only drop the entry if it was not overwritten while the
+           disk write was in flight. *)
+        (match Hashtbl.find_opt st.table off with
+        | Some d when d == data ->
+          Hashtbl.remove st.table off;
+          st.used <- st.used - Bytes.length data;
+          Sim.Condition.broadcast st.space_freed
+        | Some _ | None -> ()));
+      loop ()
+  in
+  loop ()
+
+let nvram_time st len =
+  st.write_latency + int_of_float (float_of_int len /. float_of_int st.bytes_per_sec *. 1e9)
+
+let write st ~off data =
+  let len = Bytes.length data in
+  while st.used + len > st.capacity do
+    Sim.Condition.wait st.space_freed
+  done;
+  Sim.Resource.use st.port (nvram_time st len);
+  (match Hashtbl.find_opt st.table off with
+  | Some old when Bytes.length old = len -> st.used <- st.used - len
+  | Some old ->
+    (* Different length at the same offset: flush the old entry to
+       keep the table free of partial overlaps. *)
+    Disk.write st.disk ~off old;
+    st.used <- st.used - Bytes.length old;
+    Hashtbl.remove st.table off
+  | None -> ());
+  Hashtbl.replace st.table off (Bytes.copy data);
+  st.used <- st.used + len;
+  Queue.push off st.order;
+  Sim.Condition.broadcast st.work
+
+let read st ~off ~len =
+  (* Exact-offset hit serves straight from NVRAM; any partial overlap
+     is destaged first so the disk holds the truth. *)
+  match Hashtbl.find_opt st.table off with
+  | Some data when Bytes.length data = len ->
+    Sim.Resource.use st.port (nvram_time st len);
+    Bytes.copy data
+  | _ ->
+    let pending =
+      Hashtbl.fold
+        (fun o b acc -> if overlaps ~off ~len (o, b) then (o, b) :: acc else acc)
+        st.table []
+    in
+    List.iter
+      (fun (o, b) ->
+        Disk.write st.disk ~off:o b;
+        (match Hashtbl.find_opt st.table o with
+        | Some d when d == b ->
+          Hashtbl.remove st.table o;
+          st.used <- st.used - Bytes.length b;
+          Sim.Condition.broadcast st.space_freed
+        | Some _ | None -> ()))
+      pending;
+    Disk.read st.disk ~off ~len
+
+let flush st () =
+  while st.used > 0 do
+    Sim.Condition.wait st.space_freed
+  done
+
+let wrap ?(capacity = 8 * 1024 * 1024) ?(write_latency = Sim.us 50)
+    ?(bytes_per_sec = 200_000_000) disk =
+  let st =
+    {
+      disk;
+      capacity;
+      write_latency;
+      bytes_per_sec;
+      table = Hashtbl.create 256;
+      order = Queue.create ();
+      used = 0;
+      space_freed = Sim.Condition.create ();
+      work = Sim.Condition.create ();
+      port = Sim.Resource.create (Disk.name disk ^ ".nvram");
+    }
+  in
+  Sim.spawn ~name:(Disk.name disk ^ ".destager") (destager st);
+  {
+    Storage.sname = Disk.name disk ^ "+nvram";
+    capacity = Disk.capacity disk;
+    read = read st;
+    write = write st;
+    flush = flush st;
+  }

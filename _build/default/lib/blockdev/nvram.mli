@@ -1,0 +1,17 @@
+(** PrestoServe-style NVRAM write-back cache in front of a disk.
+
+    Writes complete at NVRAM speed and are destaged to the disk by a
+    background process; contents are non-volatile, so they survive a
+    host crash (the paper treats NVRAM {e card} failure as a Petal
+    server failure, which we model by failing the underlying disk).
+
+    The default capacity is the 8 MB of the paper's PrestoServe
+    cards; when the buffer is full, writers block until destaging
+    frees space. *)
+
+val wrap :
+  ?capacity:int ->
+  ?write_latency:Simkit.Sim.time ->
+  ?bytes_per_sec:int ->
+  Disk.t ->
+  Storage.t

@@ -1,0 +1,16 @@
+type t = {
+  sname : string;
+  capacity : int;
+  read : off:int -> len:int -> bytes;
+  write : off:int -> bytes -> unit;
+  flush : unit -> unit;
+}
+
+let of_disk d =
+  {
+    sname = Disk.name d;
+    capacity = Disk.capacity d;
+    read = (fun ~off ~len -> Disk.read d ~off ~len);
+    write = (fun ~off data -> Disk.write d ~off data);
+    flush = (fun () -> ());
+  }

@@ -1,0 +1,15 @@
+(** Uniform byte-addressed storage interface.
+
+    Petal servers and the AdvFS baseline are written against this
+    record type so a raw disk and an NVRAM-fronted disk (the paper's
+    "Raw" and "NVR" configurations) are interchangeable. *)
+
+type t = {
+  sname : string;
+  capacity : int;
+  read : off:int -> len:int -> bytes;
+  write : off:int -> bytes -> unit;
+  flush : unit -> unit;  (** Wait until all buffered writes are stable. *)
+}
+
+val of_disk : Disk.t -> t

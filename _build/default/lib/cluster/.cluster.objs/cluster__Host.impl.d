@@ -1,0 +1,1 @@
+lib/cluster/host.ml: List Sim Simkit

@@ -1,0 +1,1 @@
+lib/cluster/net.ml: Host List Sim Simkit

@@ -1,0 +1,1 @@
+lib/cluster/rpc.ml: Format Hashtbl Host List Logs Net Sim Simkit

@@ -1,0 +1,1 @@
+lib/cluster/rpc.mli: Format Host Net Simkit

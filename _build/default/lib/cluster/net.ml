@@ -1,0 +1,86 @@
+open Simkit
+
+type payload = ..
+type addr = int
+
+type port = {
+  paddr : addr;
+  phost : Host.t;
+  pnet : t;
+  bandwidth : float;
+  latency : Sim.time;
+  cpu_ns_per_byte : int;
+  cpu_ns_per_msg : int;
+  tx : Sim.Resource.t;
+  rx : Sim.Resource.t;
+  inbox : (addr * payload) Sim.Mailbox.t;
+}
+
+and t = {
+  mutable ports : port list;
+  mutable next_addr : addr;
+  mutable reachable : addr -> addr -> bool;
+}
+
+let create () = { ports = []; next_addr = 0; reachable = (fun _ _ -> true) }
+
+let attach t ?(bandwidth_bits_per_sec = 155e6) ?(latency = Sim.us 120)
+    ?(cpu_ns_per_byte = 2) ?(cpu_ns_per_msg = 30_000) phost =
+  let paddr = t.next_addr in
+  t.next_addr <- t.next_addr + 1;
+  let p =
+    {
+      paddr;
+      phost;
+      pnet = t;
+      bandwidth = bandwidth_bits_per_sec;
+      latency;
+      cpu_ns_per_byte;
+      cpu_ns_per_msg;
+      tx = Sim.Resource.create (Host.name phost ^ ".tx");
+      rx = Sim.Resource.create (Host.name phost ^ ".rx");
+      inbox = Sim.Mailbox.create ();
+    }
+  in
+  t.ports <- p :: t.ports;
+  p
+
+let addr p = p.paddr
+let host p = p.phost
+let net p = p.pnet
+let tx_link p = p.tx
+let rx_link p = p.rx
+let set_reachable t f = t.reachable <- f
+let clear_partition t = t.reachable <- (fun _ _ -> true)
+
+let find_port t a = List.find_opt (fun p -> p.paddr = a) t.ports
+
+let stack_cost p size = p.cpu_ns_per_msg + (p.cpu_ns_per_byte * size)
+
+let transfer_time p size =
+  int_of_float (float_of_int (size * 8) /. p.bandwidth *. 1e9)
+
+let send p ~dst ~size m =
+  Host.check p.phost;
+  (* Protocol-stack CPU work is paid synchronously by the caller. *)
+  Sim.Resource.use (Host.cpu p.phost) (stack_cost p size);
+  let t = p.pnet in
+  let src = p.paddr in
+  Sim.spawn (fun () ->
+      Sim.Resource.use p.tx (transfer_time p size);
+      Sim.sleep p.latency;
+      if Host.is_alive p.phost && t.reachable src dst then
+        match find_port t dst with
+        | Some q when Host.is_alive q.phost ->
+          (* Receive side: the message occupies the receiver's link,
+             then its protocol-stack CPU cost is charged, before the
+             message becomes visible. *)
+          Sim.spawn (fun () ->
+              Sim.Resource.use q.rx (transfer_time q size);
+              if Host.is_alive q.phost then begin
+                Sim.Resource.use (Host.cpu q.phost) (stack_cost q size);
+                if Host.is_alive q.phost then Sim.Mailbox.send q.inbox (src, m)
+              end)
+        | Some _ | None -> ())
+
+let recv p = Sim.Mailbox.recv p.inbox

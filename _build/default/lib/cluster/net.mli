@@ -1,0 +1,62 @@
+(** Cluster network: a single switch with a dedicated full-duplex
+    point-to-point link per host, like the paper's 24-port ATM switch
+    with 155 Mbit/s links.
+
+    A message occupies the sender's transmit link for
+    [bits / bandwidth] (so links saturate realistically — Figure 7
+    depends on this), then arrives after the propagation latency.
+    Delivery is dropped silently if either end is crashed or the pair
+    is partitioned; reliability is the business of upper layers.
+
+    Payloads are an extensible variant: each protocol adds its own
+    constructors. *)
+
+type payload = ..
+
+type addr = int
+
+type t
+(** The switch. *)
+
+type port
+(** One host's network attachment. *)
+
+val create : unit -> t
+
+val attach :
+  t ->
+  ?bandwidth_bits_per_sec:float ->
+  ?latency:Simkit.Sim.time ->
+  ?cpu_ns_per_byte:int ->
+  ?cpu_ns_per_msg:int ->
+  Host.t ->
+  port
+(** Attach a host. Defaults: 155 Mbit/s, 120 µs switch latency, and a
+    UDP/IP-stack CPU cost of 2 ns/byte + 30 µs/message charged to the
+    host on both send and receive (calibrated to the paper's "16 MB/s
+    at 4% CPU" raw Petal measurement). *)
+
+val addr : port -> addr
+val host : port -> Host.t
+val net : port -> t
+
+val send : port -> dst:addr -> size:int -> payload -> unit
+(** Fire-and-forget datagram of [size] bytes. Charges CPU, queues on
+    the TX link, delivers asynchronously. Raises [Host.Crashed] if
+    the sending host is down. *)
+
+val recv : port -> addr * payload
+(** Block until a datagram arrives; returns the source address. *)
+
+val tx_link : port -> Simkit.Sim.Resource.t
+(** Transmit-link resource, for utilisation/saturation stats. *)
+
+val rx_link : port -> Simkit.Sim.Resource.t
+(** Receive-link resource; inbound messages occupy it for their
+    transfer time, so a host's incoming bandwidth also saturates. *)
+
+val set_reachable : t -> (addr -> addr -> bool) -> unit
+(** Install a reachability predicate (network partitions). The
+    default is full connectivity. *)
+
+val clear_partition : t -> unit

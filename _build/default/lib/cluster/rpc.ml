@@ -1,0 +1,91 @@
+open Simkit
+
+type error = [ `Timeout ]
+
+let pp_error fmt `Timeout = Format.pp_print_string fmt "timeout"
+
+type Net.payload +=
+  | Req of { id : int; body : Net.payload }
+  | Reply of { id : int; body : Net.payload }
+  | Oneway of Net.payload
+
+type handler = src:Net.addr -> Net.payload -> (Net.payload * int) option
+
+type t = {
+  port : Net.port;
+  mutable handlers : handler list;
+  mutable oneway_subs : (src:Net.addr -> Net.payload -> unit) list;
+  pending : (int, (Net.payload, error) result Sim.Ivar.t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let port t = t.port
+let addr t = Net.addr t.port
+let host t = Net.host t.port
+let add_handler t h = t.handlers <- t.handlers @ [ h ]
+let on_oneway t f = t.oneway_subs <- t.oneway_subs @ [ f ]
+
+let handle_request t ~src id body =
+  let rec try_handlers = function
+    | [] ->
+      Logs.warn (fun m ->
+          m "%s: unhandled rpc request from %d" (Host.name (host t)) src)
+    | h :: rest -> (
+      match h ~src body with
+      | Some (reply, size) -> Net.send t.port ~dst:src ~size (Reply { id; body = reply })
+      | None -> try_handlers rest)
+  in
+  try try_handlers t.handlers
+  with Host.Crashed _ -> () (* host died mid-request: no reply, caller times out *)
+
+let dispatcher t () =
+  let h = host t in
+  let rec loop () =
+    let src, m = Net.recv t.port in
+    (* Delivery already requires the host to be alive; a crash between
+       delivery and processing drops the message, like a real kernel
+       losing its socket buffers. *)
+    if Host.is_alive h then
+      (match m with
+      | Req { id; body } -> Sim.spawn (fun () -> handle_request t ~src id body)
+      | Reply { id; body } -> (
+        match Hashtbl.find_opt t.pending id with
+        | Some iv ->
+          Hashtbl.remove t.pending id;
+          if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill iv (Ok body)
+        | None -> () (* reply after timeout: drop *))
+      | Oneway body ->
+        List.iter
+          (fun f ->
+            Sim.spawn (fun () -> try f ~src body with Host.Crashed _ -> ()))
+          t.oneway_subs
+      | _ ->
+        Logs.warn (fun m ->
+            m "%s: malformed datagram from %d" (Host.name h) src));
+    loop ()
+  in
+  loop ()
+
+let create port =
+  let t =
+    { port; handlers = []; oneway_subs = []; pending = Hashtbl.create 64; next_id = 0 }
+  in
+  Sim.spawn ~name:(Host.name (Net.host port) ^ ".rpc") (dispatcher t);
+  t
+
+let call t ~dst ?(timeout = Sim.sec 1.0) ~size body =
+  Host.check (host t);
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  let iv = Sim.Ivar.create () in
+  Hashtbl.replace t.pending id iv;
+  ignore
+    (Sim.Timer.after timeout (fun () ->
+         if not (Sim.Ivar.is_filled iv) then begin
+           Hashtbl.remove t.pending id;
+           Sim.Ivar.fill iv (Error `Timeout)
+         end));
+  Net.send t.port ~dst ~size (Req { id; body });
+  Sim.Ivar.read iv
+
+let oneway t ~dst ~size body = Net.send t.port ~dst ~size (Oneway body)

@@ -1,0 +1,46 @@
+(** Request/response matching over {!Net} datagrams, with timeouts.
+
+    Each host runs one {!t} per incarnation; services on the host
+    register handlers on it. Handlers run as their own processes so a
+    slow disk I/O in one request does not block the dispatcher. Lost
+    messages (crashes, partitions) surface as [`Timeout]. *)
+
+type error = [ `Timeout ]
+
+val pp_error : Format.formatter -> error -> unit
+
+type handler = src:Net.addr -> Net.payload -> (Net.payload * int) option
+(** A handler inspects a request body; if it recognises it, it
+    returns [Some (reply, reply_size_bytes)]. Handlers may block. *)
+
+type t
+
+val create : Net.port -> t
+(** Create the endpoint and start its dispatcher. The dispatcher
+    lives as long as the simulation; while the host is crashed no
+    messages are delivered to it, so the endpoint simply falls
+    silent and resumes after a restart (services model volatile-state
+    loss with [Host.on_crash] hooks). *)
+
+val port : t -> Net.port
+val addr : t -> Net.addr
+val host : t -> Host.t
+
+val add_handler : t -> handler -> unit
+
+val on_oneway : t -> (src:Net.addr -> Net.payload -> unit) -> unit
+(** Subscribe to non-RPC datagrams (heartbeats, asynchronous
+    notifications). Callbacks run in a fresh process per message. *)
+
+val call :
+  t ->
+  dst:Net.addr ->
+  ?timeout:Simkit.Sim.time ->
+  size:int ->
+  Net.payload ->
+  (Net.payload, error) result
+(** Issue a request of [size] bytes and block for the reply. Default
+    timeout 1 s of simulated time. *)
+
+val oneway : t -> dst:Net.addr -> size:int -> Net.payload -> unit
+(** Fire-and-forget datagram through this endpoint. *)

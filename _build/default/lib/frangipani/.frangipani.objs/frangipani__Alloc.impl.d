@@ -1,0 +1,1 @@
+lib/frangipani/alloc.ml: Alloc_state Cache Clerk Ctx Errors Hashtbl Layout List Lockns Locksvc Ondisk Types

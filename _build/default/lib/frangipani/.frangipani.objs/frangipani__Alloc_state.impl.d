@@ -1,0 +1,1 @@
+lib/frangipani/alloc_state.ml: Array Layout

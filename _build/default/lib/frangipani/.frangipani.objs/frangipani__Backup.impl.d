@@ -1,0 +1,1 @@
+lib/frangipani/backup.ml: Clerk Fun Lockns Locksvc Petal Types

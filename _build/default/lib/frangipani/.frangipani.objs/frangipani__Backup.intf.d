@@ -1,0 +1,1 @@
+lib/frangipani/backup.mli: Cluster Petal

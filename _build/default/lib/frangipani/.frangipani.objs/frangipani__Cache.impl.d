@@ -1,0 +1,1 @@
+lib/frangipani/cache.ml: Bytes Codec Errors Fun Hashtbl Layout List Petal Sim Simkit Stdext Wal

@@ -1,0 +1,1 @@
+lib/frangipani/cache.mli: Petal Wal

@@ -1,0 +1,1 @@
+lib/frangipani/ctx.ml: Alloc_state Cache Cluster Errors Hashtbl Lockns Locksvc Petal Sim Simkit Wal

@@ -1,0 +1,1 @@
+lib/frangipani/dir.ml: Bytes Cache Ctx Errors File Fun Inode Layout List Lockns Ondisk String

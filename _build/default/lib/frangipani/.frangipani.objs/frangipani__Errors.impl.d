@@ -1,0 +1,1 @@
+lib/frangipani/errors.ml: Printexc

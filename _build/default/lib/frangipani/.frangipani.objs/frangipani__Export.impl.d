@@ -1,0 +1,1 @@
+lib/frangipani/export.ml: Bytes Cluster Errors Fs List Net Rpc Sim Simkit

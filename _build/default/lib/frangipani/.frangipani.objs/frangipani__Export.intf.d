@@ -1,0 +1,1 @@
+lib/frangipani/export.mli: Cluster Fs

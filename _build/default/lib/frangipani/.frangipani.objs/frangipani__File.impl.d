@@ -1,0 +1,1 @@
+lib/frangipani/file.ml: Alloc Array Bytes Cache Ctx Errors Inode Layout List Locksvc Ondisk Simkit

@@ -1,0 +1,1 @@
+lib/frangipani/fs.ml: Alloc Alloc_state Bytes Cache Clerk Cluster Codec Ctx Dir Errors File Fun Hashtbl Inode Layout List Lockns Locksvc Ondisk Petal Recovery Sim Simkit Stdext String Types Wal

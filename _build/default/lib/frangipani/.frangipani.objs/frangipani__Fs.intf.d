@@ -1,0 +1,1 @@
+lib/frangipani/fs.mli: Cluster Ctx Ondisk Petal

@@ -1,0 +1,1 @@
+lib/frangipani/fsck.ml: Alloc Cache Ctx Dir File Format Fs Hashtbl Inode Layout List Lockns Locksvc Ondisk Option Types Wal

@@ -1,0 +1,1 @@
+lib/frangipani/fsck.mli: Format Fs Layout

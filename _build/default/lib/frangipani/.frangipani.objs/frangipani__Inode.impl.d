@@ -1,0 +1,1 @@
+lib/frangipani/inode.ml: Bytes Cache Ctx Layout Lockns Ondisk Simkit Stdext

@@ -1,0 +1,1 @@
+lib/frangipani/layout.ml:

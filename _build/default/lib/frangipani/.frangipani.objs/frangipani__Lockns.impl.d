@@ -1,0 +1,1 @@
+lib/frangipani/lockns.ml: Clerk Fun Layout List Locksvc

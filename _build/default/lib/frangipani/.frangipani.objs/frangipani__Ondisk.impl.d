@@ -1,0 +1,1 @@
+lib/frangipani/ondisk.ml: Array Bytes Char Codec Layout Printf Stdext String

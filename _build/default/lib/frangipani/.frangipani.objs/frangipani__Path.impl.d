@@ -1,0 +1,1 @@
+lib/frangipani/path.ml: Errors Fs List Ondisk String

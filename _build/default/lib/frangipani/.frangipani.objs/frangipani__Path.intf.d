@@ -1,0 +1,1 @@
+lib/frangipani/path.mli: Fs

@@ -1,0 +1,1 @@
+lib/frangipani/recovery.ml: Bytes Cluster Codec Ctx Errors Fun Layout List Lockns Locksvc Logs Petal Stdext Wal

@@ -1,0 +1,1 @@
+lib/frangipani/wal.ml: Bytes Codec Crc32 Errors Layout List Petal Sim Simkit Stdext

@@ -1,0 +1,1 @@
+lib/frangipani/wal.mli: Petal

@@ -1,0 +1,110 @@
+(** Bitmap allocator (§3, §5).
+
+    Each server allocates from a bitmap segment it holds the
+    exclusive segment lock for; when that segment fills it locks
+    another (picked by a lease-salted rotor, so servers spread out).
+    Freeing a bit may touch a segment currently owned by another
+    server — the lock service revokes it transparently.
+
+    Locking discipline: segment locks are acquired after all inode
+    locks of the operation, in (pool, segment)-sorted order for
+    multi-free transactions, and held until the transaction commits
+    (via {!Cache.on_commit}), so the logged bitmap change can never
+    reach Petal before its record. *)
+
+open Locksvc
+open Errors
+
+let seg_lock pool seg = Lockns.bitmap_lock (Layout.global_segment pool seg)
+
+(* Find and claim a clear bit in [seg]; the caller holds the segment
+   lock. Returns the absolute bit number. *)
+let scan_segment ctx pool seg ~hint =
+  let lock = seg_lock pool seg in
+  let first = Layout.segment_first_bit seg in
+  let limit = min Layout.bits_per_segment (Layout.pool_size pool - first) in
+  if limit <= 0 then None
+  else begin
+    let rec probe i tried =
+      if tried >= limit then None
+      else begin
+        let bit = (i + hint) mod limit in
+        let abs_bit = first + bit in
+        let sector_addr = Layout.bit_sector pool abs_bit in
+        let sector =
+          Cache.read ctx.Ctx.cache ~lock ~addr:sector_addr ~len:Layout.sector
+        in
+        let within = Layout.bit_in_sector abs_bit in
+        if not (Ondisk.test_bit sector within) then Some (abs_bit, sector_addr, within)
+        else probe (i + 1) (tried + 1)
+      end
+    in
+    probe 0 0
+  end
+
+(** Allocate one object from [pool]; the bit is set within [txn] and
+    the segment lock is released when [txn] commits. *)
+let alloc ctx txn pool =
+  let ps = Alloc_state.pool ctx.Ctx.alloc pool in
+  let nsegs = Layout.pool_segments pool in
+  let salt = Clerk.lease ctx.Ctx.clerk * 7919 in
+  let rec attempt tries =
+    if tries > nsegs then fail Enospc
+    else begin
+      let seg =
+        match ps.Alloc_state.seg with
+        | Some s -> s
+        | None ->
+          let s = (salt + tries) mod nsegs in
+          ps.Alloc_state.seg <- Some s;
+          ps.Alloc_state.hint <- 0;
+          s
+      in
+      let lock = seg_lock pool seg in
+      Clerk.acquire ctx.Ctx.clerk ~lock Types.W;
+      match scan_segment ctx pool seg ~hint:ps.Alloc_state.hint with
+      | Some (bit, sector_addr, within) ->
+        Cache.update ctx.Ctx.cache txn ~lock ~addr:sector_addr
+          ~off:(Ondisk.bit_byte_off within)
+          ~bytes:
+            (Ondisk.set_bit_byte
+               (Cache.read ctx.Ctx.cache ~lock ~addr:sector_addr ~len:Layout.sector)
+               within true);
+        ps.Alloc_state.hint <- bit - Layout.segment_first_bit seg + 1;
+        Cache.on_commit txn (fun () -> Clerk.release ctx.Ctx.clerk ~lock Types.W);
+        bit
+      | None ->
+        Clerk.release ctx.Ctx.clerk ~lock Types.W;
+        ps.Alloc_state.seg <- None;
+        attempt (tries + 1)
+    end
+  in
+  attempt 0
+
+(** Free a set of bits; segment locks are taken in (pool, segment)
+    order and held to commit (deadlock-avoidance discipline). *)
+let free_many ctx txn bits =
+  let keyed =
+    List.map (fun (pool, bit) -> ((Layout.pool_index pool, Layout.segment_of_bit bit), (pool, bit))) bits
+    |> List.sort compare
+  in
+  let locked = Hashtbl.create 4 in
+  List.iter
+    (fun ((_, _), (pool, bit)) ->
+      let seg = Layout.segment_of_bit bit in
+      let lock = seg_lock pool seg in
+      if not (Hashtbl.mem locked lock) then begin
+        Clerk.acquire ctx.Ctx.clerk ~lock Types.W;
+        Hashtbl.replace locked lock ();
+        Cache.on_commit txn (fun () -> Clerk.release ctx.Ctx.clerk ~lock Types.W)
+      end;
+      let sector_addr = Layout.bit_sector pool bit in
+      let within = Layout.bit_in_sector bit in
+      let sector = Cache.read ctx.Ctx.cache ~lock ~addr:sector_addr ~len:Layout.sector in
+      if Ondisk.test_bit sector within then
+        Cache.update ctx.Ctx.cache txn ~lock ~addr:sector_addr
+          ~off:(Ondisk.bit_byte_off within)
+          ~bytes:(Ondisk.set_bit_byte sector within false))
+    keyed
+
+let free ctx txn pool bit = free_many ctx txn [ (pool, bit) ]

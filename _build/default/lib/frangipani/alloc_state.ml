@@ -1,0 +1,10 @@
+(** Per-server allocator state: which bitmap segment of each pool the
+    server currently allocates from, and a rotor within it. *)
+
+type pool_state = { mutable seg : int option; mutable hint : int }
+
+type t = { pools : pool_state array }
+
+let create () = { pools = Array.init 5 (fun _ -> { seg = None; hint = 0 }) }
+
+let pool t p = t.pools.(Layout.pool_index p)

@@ -1,0 +1,24 @@
+(** Online consistent backup (§8).
+
+    The backup program is just another lock-service client: it
+    acquires the global barrier lock exclusively, which revokes every
+    server's shared hold — each server flushes its log and all dirty
+    data before complying — then takes a Petal snapshot and releases
+    the barrier. The snapshot is consistent at the file-system level
+    (no recovery needed) and can be mounted read-only with
+    {!Fs.mount} [~readonly:true] under a fresh lock table. *)
+
+open Locksvc
+
+type t = { clerk : Clerk.t }
+
+let connect ~rpc ~lock_servers ~table =
+  { clerk = Clerk.create ~rpc ~servers:lock_servers ~table () }
+
+(** Quiesce the file system, snapshot its virtual disk, resume.
+    Returns the snapshot's virtual-disk id. *)
+let snapshot t vd =
+  Clerk.acquire t.clerk ~lock:Lockns.barrier_lock Types.W;
+  Fun.protect
+    ~finally:(fun () -> Clerk.release t.clerk ~lock:Lockns.barrier_lock Types.W)
+    (fun () -> Petal.Client.snapshot vd)

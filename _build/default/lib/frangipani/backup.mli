@@ -1,0 +1,22 @@
+(** Online consistent backup (§8).
+
+    The backup program is just another lock-service client: it takes
+    the global barrier lock in exclusive mode — every Frangipani
+    server flushes its log and dirty data before yielding its shared
+    hold — snapshots the Petal virtual disk, and releases the
+    barrier. The snapshot is consistent at the file-system level, so
+    it mounts read-only with {!Fs.mount} [~readonly:true] (under a
+    fresh lock table) without any recovery. *)
+
+type t
+
+val connect :
+  rpc:Cluster.Rpc.t ->
+  lock_servers:Cluster.Net.addr array ->
+  table:string ->
+  t
+(** Attach the backup program to the file system's lock table. *)
+
+val snapshot : t -> Petal.Client.vdisk -> int
+(** Quiesce, snapshot, resume; returns the read-only snapshot
+    virtual-disk id. *)

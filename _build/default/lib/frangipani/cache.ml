@@ -1,0 +1,349 @@
+open Stdext
+open Simkit
+
+type entry = {
+  addr : int;
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable gen : int; (* bumped on every modification (flush races) *)
+  mutable rid : int; (* newest log record describing this entry *)
+  mutable pins : int;
+      (* > 0 while an uncommitted transaction has modified this
+         sector: regular flushes skip it so the metadata can never
+         reach Petal before its log record *)
+  mutable flushing : bool; (* a write-back for this entry is in flight *)
+  lock : int;
+}
+
+type t = {
+  vd : Petal.Client.vdisk;
+  wal : Wal.t;
+  lease_ok : unit -> bool;
+  tbl : (int, entry) Hashtbl.t;
+  by_lock : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  inflight : (int, unit Sim.Ivar.t) Hashtbl.t; (* fetch dedup *)
+  mutable ndirty : int;
+  mutable wb_running : bool; (* background write-behind active *)
+  flush_done : Sim.Condition.t; (* signalled as write-back runs complete *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* Start draining to Petal in the background once this much data is
+   dirty, so streaming writes overlap with the flush (the kernel's
+   write-behind). *)
+let writeback_threshold = 256 (* entries; ~1 MB of 4 KB blocks *)
+
+let mark_dirty t e =
+  if not e.dirty then begin
+    e.dirty <- true;
+    t.ndirty <- t.ndirty + 1
+  end;
+  e.gen <- e.gen + 1
+
+let mark_clean t e =
+  if e.dirty then begin
+    e.dirty <- false;
+    t.ndirty <- t.ndirty - 1
+  end
+
+type txn = {
+  mutable diffs : Wal.diff list;
+  mutable touched : entry list;
+  mutable post : (unit -> unit) list; (* run after commit (lock releases) *)
+}
+
+let create ~vd ~wal ~lease_ok =
+  { vd; wal; lease_ok; tbl = Hashtbl.create 4096; by_lock = Hashtbl.create 256;
+    inflight = Hashtbl.create 64; ndirty = 0; wb_running = false;
+    flush_done = Sim.Condition.create (); hits = 0; misses = 0 }
+
+let lock_index t lock =
+  match Hashtbl.find_opt t.by_lock lock with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 16 in
+    Hashtbl.replace t.by_lock lock s;
+    s
+
+let rec entry t ~lock ~addr ~len =
+  match Hashtbl.find_opt t.tbl addr with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    e
+  | None -> (
+    match Hashtbl.find_opt t.inflight addr with
+    | Some iv ->
+      (* Someone (often the read-ahead) is already fetching it. *)
+      Sim.Ivar.read iv;
+      entry t ~lock ~addr ~len
+    | None ->
+      t.misses <- t.misses + 1;
+      let iv = Sim.Ivar.create () in
+      Hashtbl.replace t.inflight addr iv;
+      let finish () =
+        Hashtbl.remove t.inflight addr;
+        Sim.Ivar.fill iv ()
+      in
+      let data =
+        try Petal.Client.read t.vd ~off:addr ~len
+        with ex ->
+          finish ();
+          raise ex
+      in
+      let e = { addr; data; dirty = false; gen = 0; rid = 0; pins = 0; flushing = false; lock } in
+      Hashtbl.replace t.tbl addr e;
+      Hashtbl.replace (lock_index t lock) addr ();
+      finish ();
+      e)
+
+let read t ~lock ~addr ~len = (entry t ~lock ~addr ~len).data
+
+let with_txn t f =
+  let txn = { diffs = []; touched = []; post = [] } in
+  let finish () = List.iter (fun g -> g ()) (List.rev txn.post) in
+  let unpin () = List.iter (fun e -> e.pins <- e.pins - 1) txn.touched in
+  let r =
+    try f txn
+    with e ->
+      unpin ();
+      finish ();
+      raise e
+  in
+  (match txn.diffs with
+  | [] -> ()
+  | diffs ->
+    let rid = Wal.append t.wal (List.rev diffs) in
+    List.iter (fun e -> e.rid <- max e.rid rid) txn.touched);
+  unpin ();
+  finish ();
+  r
+
+let on_commit txn g = txn.post <- g :: txn.post
+
+let update t txn ~lock ~addr ~off ~bytes:data =
+  assert (addr mod Layout.sector = 0 && off + Bytes.length data <= Layout.sector);
+  let e = entry t ~lock ~addr ~len:Layout.sector in
+  let version = Codec.get_int e.data 0 + 1 in
+  Codec.put_int e.data 0 version;
+  Bytes.blit data 0 e.data off (Bytes.length data);
+  mark_dirty t e;
+  e.pins <- e.pins + 1;
+  txn.diffs <- { Wal.addr; doff = off; data = Bytes.copy data; version } :: txn.diffs;
+  txn.touched <- e :: txn.touched
+
+let update_nolog t ~lock ~addr ~off ~bytes:data =
+  let e = entry t ~lock ~addr ~len:Layout.sector in
+  Codec.put_int e.data 0 (Codec.get_int e.data 0 + 1);
+  Bytes.blit data 0 e.data off (Bytes.length data);
+  mark_dirty t e
+
+(* Partial user-data update: read-modify-write within a cached block
+   of [len] bytes (fetched on miss). Not logged, no version field. *)
+let update_data t ~lock ~addr ~len ~off ~bytes:data =
+  let e = entry t ~lock ~addr ~len in
+  Bytes.blit data 0 e.data off (Bytes.length data);
+  mark_dirty t e
+
+let write_data t ~lock ~addr ~bytes:data =
+  match Hashtbl.find_opt t.tbl addr with
+  | Some e ->
+    Bytes.blit data 0 e.data 0 (Bytes.length data);
+    mark_dirty t e
+  | None ->
+    let e = { addr; data = Bytes.copy data; dirty = false; gen = 0; rid = 0; pins = 0; flushing = false; lock } in
+    mark_dirty t e;
+    Hashtbl.replace t.tbl addr e;
+    Hashtbl.replace (lock_index t lock) addr ()
+
+let mem t addr = Hashtbl.mem t.tbl addr
+let present t addr = Hashtbl.mem t.tbl addr || Hashtbl.mem t.inflight addr
+
+(* Fetch [addr, addr+len) with one Petal read and populate entries of
+   [granule] bytes each — sequential-read clustering. Granules being
+   fetched elsewhere are skipped; readers of those wait on the other
+   fetch through {!entry}. *)
+let fill_range t ~lock ~addr ~len ~granule =
+  if len > 0 then begin
+    let wanted =
+      List.filter
+        (fun a -> not (present t a))
+        (List.init (len / granule) (fun i -> addr + (i * granule)))
+    in
+    if wanted <> [] then begin
+      let ivs = List.map (fun a -> (a, Sim.Ivar.create ())) wanted in
+      List.iter (fun (a, iv) -> Hashtbl.replace t.inflight a iv) ivs;
+      let finish () =
+        List.iter
+          (fun (a, iv) ->
+            Hashtbl.remove t.inflight a;
+            Sim.Ivar.fill iv ())
+          ivs
+      in
+      let data =
+        try Petal.Client.read t.vd ~off:addr ~len
+        with ex ->
+          finish ();
+          raise ex
+      in
+      List.iter
+        (fun (a, _) ->
+          if not (Hashtbl.mem t.tbl a) then begin
+            t.misses <- t.misses + 1;
+            let e =
+              { addr = a; data = Bytes.sub data (a - addr) granule; dirty = false;
+                gen = 0; rid = 0; pins = 0; flushing = false; lock }
+            in
+            Hashtbl.replace t.tbl a e;
+            Hashtbl.replace (lock_index t lock) a ()
+          end)
+        ivs;
+      finish ()
+    end
+  end
+
+(* Write a set of dirty entries back to Petal: log records first
+   (write-ahead), then the entries clustered into naturally-aligned
+   runs of up to 64 KB (§9.2) issued in parallel. *)
+let flush_parallelism = 16
+let max_run = 65536
+
+let flush_entries t entries =
+  let candidates =
+    List.filter (fun e -> e.dirty && e.pins = 0) entries
+    |> List.sort_uniq (fun a b -> compare a.addr b.addr)
+  in
+  (* Entries already being written by a concurrent flush are not
+     re-sent; we wait for those writes at the end instead. *)
+  let busy = List.filter (fun e -> e.flushing) candidates in
+  let dirty = List.filter (fun e -> not e.flushing) candidates in
+  if dirty <> [] then begin
+    let max_rid = List.fold_left (fun acc e -> max acc e.rid) 0 dirty in
+    if max_rid > 0 then Wal.ensure_flushed t.wal max_rid;
+    if not (t.lease_ok ()) then Errors.fail Errors.Eio;
+    (* Group into contiguous runs. *)
+    let runs =
+      List.fold_left
+        (fun acc e ->
+          match acc with
+          | (last :: _ as run) :: rest
+            when last.addr + Bytes.length last.data = e.addr
+                 && e.addr / max_run = last.addr / max_run ->
+            (e :: run) :: rest
+          | _ -> [ e ] :: acc)
+        [] dirty
+      |> List.rev_map List.rev
+    in
+    List.iter (fun e -> e.flushing <- true) dirty;
+    let slots = Sim.Resource.create ~capacity:flush_parallelism "cache.flush" in
+    let pending = ref (List.length runs) in
+    let all = Sim.Ivar.create () in
+    let failed = ref None in
+    List.iter
+      (fun run ->
+        Sim.spawn (fun () ->
+            Sim.Resource.acquire slots;
+            (try
+               let gens = List.map (fun e -> (e, e.gen)) run in
+               let data = Bytes.concat Bytes.empty (List.map (fun e -> e.data) run) in
+               Petal.Client.write t.vd ~off:(List.hd run).addr data;
+               List.iter (fun (e, g) -> if e.gen = g then mark_clean t e) gens
+             with ex -> failed := Some ex);
+            List.iter (fun e -> e.flushing <- false) run;
+            Sim.Condition.broadcast t.flush_done;
+            Sim.Resource.release slots;
+            decr pending;
+            if !pending = 0 then Sim.Ivar.fill all ()))
+      runs;
+    Sim.Ivar.read all;
+    match !failed with Some ex -> raise ex | None -> ()
+  end;
+  (* Durability barrier: also wait out writes another flush started. *)
+  List.iter
+    (fun e ->
+      while e.flushing do
+        Sim.Condition.wait t.flush_done
+      done)
+    busy
+
+let flush_lock t lock =
+  match Hashtbl.find_opt t.by_lock lock with
+  | None -> ()
+  | Some s ->
+    let entries =
+      Hashtbl.fold
+        (fun a () acc ->
+          match Hashtbl.find_opt t.tbl a with Some e -> e :: acc | None -> acc)
+        s []
+    in
+    flush_entries t entries
+
+let invalidate_lock t lock =
+  match Hashtbl.find_opt t.by_lock lock with
+  | None -> ()
+  | Some s ->
+    Hashtbl.iter
+      (fun a () ->
+        match Hashtbl.find_opt t.tbl a with
+        | Some e ->
+          assert (not e.dirty);
+          Hashtbl.remove t.tbl a
+        | None -> ())
+      s;
+    Hashtbl.remove t.by_lock lock
+
+let flush_all t =
+  flush_entries t (Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [])
+
+(* WAL-reclaim path: these records are already durable, so no
+   ensure_flushed (which would recurse into the in-progress log
+   flush). *)
+let flush_upto_rid t bound =
+  let entries =
+    Hashtbl.fold
+      (fun _ e acc -> if e.dirty && e.rid > 0 && e.rid <= bound then e :: acc else acc)
+      t.tbl []
+  in
+  List.iter
+    (fun e ->
+      if e.dirty then begin
+        if not (t.lease_ok ()) then Errors.fail Errors.Eio;
+        let g = e.gen in
+        Petal.Client.write t.vd ~off:e.addr e.data;
+        if e.gen = g then mark_clean t e
+      end)
+    entries
+
+let drop_clean t =
+  let doomed =
+    Hashtbl.fold (fun a e acc -> if e.dirty then acc else (a, e.lock) :: acc) t.tbl []
+  in
+  List.iter
+    (fun (a, lock) ->
+      Hashtbl.remove t.tbl a;
+      match Hashtbl.find_opt t.by_lock lock with
+      | Some s -> Hashtbl.remove s a
+      | None -> ())
+    doomed
+
+let discard_volatile t =
+  Hashtbl.reset t.tbl;
+  Hashtbl.reset t.by_lock;
+  t.ndirty <- 0
+
+let dirty_count t = t.ndirty
+
+(* Background write-behind: once enough data is dirty, drain it to
+   Petal concurrently with the writer, like the kernel's update/
+   bdflush pair. Failures leave the data dirty for the next sync. *)
+let maybe_writeback t =
+  if (not t.wb_running) && t.ndirty >= writeback_threshold then begin
+    t.wb_running <- true;
+    Sim.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () -> t.wb_running <- false)
+          (fun () ->
+            try flush_entries t (Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [])
+            with _ -> ()))
+  end
+let stats t = (t.hits, t.misses)

@@ -1,0 +1,93 @@
+(** Per-server block cache with write-ahead ordering.
+
+    Stands in for the kernel buffer pool of the paper (§2.1). Every
+    entry is covered by a lock of the lock service; the coherence
+    protocol (§5) flushes a lock's dirty entries before the lock is
+    released or downgraded, and invalidates them on release.
+
+    Metadata updates go through transactions: the cached sector is
+    modified in place, its version number is bumped, and a redo
+    record is accumulated; committing the transaction appends one
+    logical record to the {!Wal} and tags the touched entries with
+    the record id, so a dirty metadata sector is never written to
+    Petal before its log record ({!flush_lock} enforces the
+    ordering). User data is written through the same cache but never
+    logged (§4). *)
+
+type t
+
+val create :
+  vd:Petal.Client.vdisk ->
+  wal:Wal.t ->
+  lease_ok:(unit -> bool) ->
+  t
+
+(** A metadata transaction: one logical operation, one log record. *)
+type txn
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Run a metadata operation; commit its accumulated diffs as a
+    single log record on normal return. *)
+
+val on_commit : txn -> (unit -> unit) -> unit
+(** Register work (typically bitmap-segment lock releases) to run
+    right after the transaction's record is appended. *)
+
+val read : t -> lock:int -> addr:int -> len:int -> bytes
+(** Return the cached block, fetching it from Petal on a miss. The
+    returned buffer is the live cache entry: callers must treat it
+    as read-only. *)
+
+val update : t -> txn -> lock:int -> addr:int -> off:int -> bytes:bytes -> unit
+(** Logged metadata update of the 512-byte sector at [addr]: bump its
+    version, splice [bytes] at [off], add the diff to the
+    transaction. *)
+
+val update_nolog : t -> lock:int -> addr:int -> off:int -> bytes:bytes -> unit
+(** Unlogged metadata update (the approximate last-accessed time,
+    §2.1): bumps the version but writes no record; lost in a crash. *)
+
+val write_data : t -> lock:int -> addr:int -> bytes:bytes -> unit
+(** Cache a full user-data block as dirty (not logged). *)
+
+val update_data : t -> lock:int -> addr:int -> len:int -> off:int -> bytes:bytes -> unit
+(** Partial user-data update within a block of [len] bytes
+    (read-modify-write; not logged). *)
+
+val mem : t -> int -> bool
+(** Is this address cached? (Read-clustering uses it to find runs of
+    missing blocks.) *)
+
+val fill_range : t -> lock:int -> addr:int -> len:int -> granule:int -> unit
+(** Fetch a contiguous range with a single Petal read and populate
+    clean entries of [granule] bytes — sequential-read clustering
+    and the read-ahead engine. *)
+
+val flush_lock : t -> int -> unit
+(** Write back all dirty entries covered by a lock (logging first). *)
+
+val invalidate_lock : t -> int -> unit
+(** Drop all entries covered by a lock (they must be clean — call
+    {!flush_lock} first). *)
+
+val flush_all : t -> unit
+
+val flush_upto_rid : t -> int -> unit
+(** Write back dirty metadata recorded by records with id ≤ the
+    given bound — the WAL's reclaim hook. Never triggers a log
+    flush. *)
+
+val drop_clean : t -> unit
+(** Evict all clean entries (lets experiments measure uncached
+    reads). *)
+
+val discard_volatile : t -> unit
+(** Crash simulation: drop everything, dirty included. *)
+
+val maybe_writeback : t -> unit
+(** Kick a background drain if enough data is dirty (write-behind);
+    called by the write path so streaming writes overlap with their
+    flush. *)
+
+val dirty_count : t -> int
+val stats : t -> int * int  (** hits, misses *)

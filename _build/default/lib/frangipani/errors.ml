@@ -1,0 +1,41 @@
+(** File-system error conditions, in the spirit of Unix errnos. *)
+
+type error =
+  | Enoent  (** no such file or directory *)
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Enotempty
+  | Enametoolong
+  | Einval
+  | Efbig  (** beyond the 64 KB + 1 TB per-file limit *)
+  | Enospc
+  | Estale  (** inode freed or reused under the caller *)
+  | Erofs  (** write to a mounted snapshot *)
+  | Eio
+      (** catch-all for lost storage, including operation attempted
+          after the server's lease expired (paper §6: all requests
+          return an error until the file system is unmounted) *)
+
+exception Error of error
+
+let to_string = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Enotempty -> "ENOTEMPTY"
+  | Enametoolong -> "ENAMETOOLONG"
+  | Einval -> "EINVAL"
+  | Efbig -> "EFBIG"
+  | Enospc -> "ENOSPC"
+  | Estale -> "ESTALE"
+  | Erofs -> "EROFS"
+  | Eio -> "EIO"
+
+let fail e = raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Frangipani.Error " ^ to_string e)
+    | _ -> None)

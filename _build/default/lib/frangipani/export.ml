@@ -1,0 +1,107 @@
+open Cluster
+open Simkit
+
+type call =
+  | C_lookup of int * string
+  | C_create of int * string
+  | C_mkdir of int * string
+  | C_unlink of int * string
+  | C_rmdir of int * string
+  | C_rename of int * string * int * string
+  | C_readdir of int
+  | C_read of int * int * int
+  | C_write of int * int * bytes
+  | C_getattr of int
+  | C_fsync of int
+
+type reply =
+  | R_unit
+  | R_inum of int
+  | R_data of bytes
+  | R_entries of (string * int) list
+  | R_attr of Fs.stats
+  | R_err of Errors.error
+
+type Net.payload += NFS_call of call | NFS_reply of reply
+
+let root = Fs.root
+
+let reply_size = function
+  | R_data b -> 64 + Bytes.length b
+  | R_entries es -> 64 + (64 * List.length es)
+  | _ -> 64
+
+let serve fs rpc =
+  Rpc.add_handler rpc (fun ~src:_ body ->
+      match body with
+      | NFS_call c ->
+        let r =
+          try
+            match c with
+            | C_lookup (dir, name) -> R_inum (Fs.lookup fs ~dir name)
+            | C_create (dir, name) -> R_inum (Fs.create fs ~dir name)
+            | C_mkdir (dir, name) -> R_inum (Fs.mkdir fs ~dir name)
+            | C_unlink (dir, name) ->
+              Fs.unlink fs ~dir name;
+              R_unit
+            | C_rmdir (dir, name) ->
+              Fs.rmdir fs ~dir name;
+              R_unit
+            | C_rename (sdir, sname, ddir, dname) ->
+              Fs.rename fs ~sdir sname ~ddir dname;
+              R_unit
+            | C_readdir dir -> R_entries (Fs.readdir fs dir)
+            | C_read (inum, off, len) -> R_data (Fs.read fs inum ~off ~len)
+            | C_write (inum, off, data) ->
+              Fs.write fs inum ~off data;
+              R_unit
+            | C_getattr inum -> R_attr (Fs.stat fs inum)
+            | C_fsync inum ->
+              Fs.fsync fs inum;
+              R_unit
+          with Errors.Error e -> R_err e
+        in
+        Some (NFS_reply r, reply_size r)
+      | _ -> None)
+
+type client = { rpc : Rpc.t; server : Net.addr }
+
+let connect ~rpc ~server = { rpc; server }
+
+let call t ~size c =
+  match Rpc.call t.rpc ~dst:t.server ~timeout:(Sim.sec 120.0) ~size (NFS_call c) with
+  | Ok (NFS_reply (R_err e)) -> Errors.fail e
+  | Ok (NFS_reply r) -> r
+  | Ok _ | Error `Timeout -> Errors.fail Errors.Eio
+
+let inum_of = function R_inum i -> i | _ -> Errors.fail Errors.Eio
+let unit_of = function R_unit -> () | _ -> Errors.fail Errors.Eio
+
+let lookup t ~dir name = inum_of (call t ~size:96 (C_lookup (dir, name)))
+let create t ~dir name = inum_of (call t ~size:96 (C_create (dir, name)))
+let mkdir t ~dir name = inum_of (call t ~size:96 (C_mkdir (dir, name)))
+let unlink t ~dir name = unit_of (call t ~size:96 (C_unlink (dir, name)))
+let rmdir t ~dir name = unit_of (call t ~size:96 (C_rmdir (dir, name)))
+
+let rename t ~sdir sname ~ddir dname =
+  unit_of (call t ~size:128 (C_rename (sdir, sname, ddir, dname)))
+
+let readdir t dir =
+  match call t ~size:64 (C_readdir dir) with
+  | R_entries es -> es
+  | _ -> Errors.fail Errors.Eio
+
+let read t inum ~off ~len =
+  match call t ~size:64 (C_read (inum, off, len)) with
+  | R_data d -> d
+  | _ -> Errors.fail Errors.Eio
+
+let write t inum ~off data =
+  unit_of (call t ~size:(64 + Bytes.length data) (C_write (inum, off, data)))
+
+let getattr t inum =
+  match call t ~size:64 (C_getattr inum) with
+  | R_attr a -> a
+  | _ -> Errors.fail Errors.Eio
+
+let fsync t inum = unit_of (call t ~size:64 (C_fsync inum))

@@ -1,0 +1,39 @@
+(** The client/server configuration of §2.2 (Figure 3).
+
+    A Frangipani server machine can export the file system to remote,
+    untrusted clients over an ordinary network file protocol — the
+    clients never talk to Petal or the lock service, so they need not
+    be trusted with raw access to the shared virtual disk. Frangipani
+    "looks just like a local file system" to the protocol server, so
+    this module is a thin NFS-like RPC shim over {!Fs}.
+
+    Coherence between clients attached to {e different} Frangipani
+    servers still holds: it is provided by the Frangipani layer
+    underneath, exactly the property §2.2 says a coherent
+    access protocol would preserve. *)
+
+val serve : Fs.t -> Cluster.Rpc.t -> unit
+(** Export this mount on the server's RPC endpoint. *)
+
+type client
+
+val connect : rpc:Cluster.Rpc.t -> server:Cluster.Net.addr -> client
+(** Attach a remote client machine to an exporting server. *)
+
+val root : int
+
+(** The remote operations mirror {!Fs}; failures raise
+    {!Errors.Error} (transported over the wire), and an unreachable
+    server raises [Errors.Error Eio]. *)
+
+val lookup : client -> dir:int -> string -> int
+val create : client -> dir:int -> string -> int
+val mkdir : client -> dir:int -> string -> int
+val unlink : client -> dir:int -> string -> unit
+val rmdir : client -> dir:int -> string -> unit
+val rename : client -> sdir:int -> string -> ddir:int -> string -> unit
+val readdir : client -> int -> (string * int) list
+val read : client -> int -> off:int -> len:int -> bytes
+val write : client -> int -> off:int -> bytes -> unit
+val getattr : client -> int -> Fs.stats
+val fsync : client -> int -> unit

@@ -1,0 +1,23 @@
+(** Inode access through the cache; the caller holds the file's lock
+    in the appropriate mode. *)
+
+let addr = Layout.inode_addr
+let lock = Lockns.inode_lock
+
+let read ctx inum =
+  let sector =
+    Cache.read ctx.Ctx.cache ~lock:(lock inum) ~addr:(addr inum) ~len:Layout.inode_size
+  in
+  Ondisk.decode_inode sector
+
+(** Logged full-inode update (one diff; version bumped). *)
+let write ctx txn inum ino =
+  Cache.update ctx.Ctx.cache txn ~lock:(lock inum) ~addr:(addr inum)
+    ~off:Ondisk.off_itype ~bytes:(Ondisk.encode_inode ino)
+
+(** Approximate atime (§2.1): cached, unlogged, flushed lazily. *)
+let touch_atime ctx inum =
+  let b = Bytes.create 8 in
+  Stdext.Codec.put_int b 0 (Simkit.Sim.now ());
+  Cache.update_nolog ctx.Ctx.cache ~lock:(lock inum) ~addr:(addr inum)
+    ~off:Ondisk.off_atime ~bytes:b

@@ -1,0 +1,26 @@
+(** Lock-id namespace over the file system's lockable segments (§5):
+    one lock per file/directory/symlink (covering the inode and all
+    data it points to), one per allocation-bitmap segment, one per
+    private log, one global barrier lock for backup (§8), and — in
+    the finer-granularity ablation mode — one per 4 KB data block. *)
+
+open Locksvc
+
+let barrier_lock = 1
+let inode_lock inum = 0x1_0000_0000 + inum
+let bitmap_lock gseg = 0x8_0000_0000 + gseg
+let log_lock slot = 0x1_0_0000_0000 + slot
+let block_lock addr = (1 lsl 53) + (addr / Layout.block)
+
+(* Deadlock avoidance (§5): multi-lock operations acquire in global
+   order. Inode locks sort before bitmap locks by construction of the
+   id space, which matches the acquisition discipline of the
+   operations (inodes first, then at most pool-ordered bitmap
+   segments). *)
+let with_locks clerk locks f =
+  let locks = List.sort_uniq compare locks in
+  List.iter (fun (l, m) -> Clerk.acquire clerk ~lock:l m) locks;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (l, m) -> Clerk.release clerk ~lock:l m) (List.rev locks))
+    f

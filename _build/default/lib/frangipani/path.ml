@@ -1,0 +1,116 @@
+(** Convenience path layer over the inode-based {!Fs} API.
+
+    Resolves absolute, slash-separated paths with lexical handling of
+    ["."] and [".."] and bounded symlink following. This is the layer
+    that would live in the kernel's namei; it also enforces the
+    directory-rename cycle check that {!Fs.rename} leaves to its
+    caller. *)
+
+open Errors
+
+let split path =
+  if path = "" || path.[0] <> '/' then fail Einval;
+  let parts = String.split_on_char '/' path in
+  List.filter (fun s -> s <> "" && s <> ".") parts
+
+(* Lexically normalise ".." away. *)
+let normalise parts =
+  List.fold_left
+    (fun acc p -> match (p, acc) with ("..", _ :: tl) -> tl | ("..", []) -> [] | _ -> p :: acc)
+    [] parts
+  |> List.rev
+
+let max_symlink_depth = 8
+
+(* Resolve [path] to an inum, following symlinks. *)
+let resolve ?(follow = true) ctx path =
+  let rec walk depth parts =
+    if depth > max_symlink_depth then fail Einval;
+    let rec step dir trail = function
+      | [] -> dir
+      | name :: rest -> (
+        let inum = Fs.lookup ctx ~dir name in
+        let st = Fs.stat ctx inum in
+        match st.Fs.itype with
+        | Ondisk.Symlink when follow || rest <> [] ->
+          let target = Fs.readlink ctx inum in
+          let tparts = String.split_on_char '/' target |> List.filter (fun s -> s <> "" && s <> ".") in
+          let base = if String.length target > 0 && target.[0] = '/' then [] else List.rev trail in
+          walk (depth + 1) (normalise (base @ tparts @ rest))
+        | _ -> step inum (name :: trail) rest)
+    in
+    step Fs.root [] parts
+  in
+  walk 0 (normalise (split path))
+
+let parent_and_leaf ctx path =
+  match List.rev (normalise (split path)) with
+  | [] -> fail Einval
+  | leaf :: rparents ->
+    let parent_path = "/" ^ String.concat "/" (List.rev rparents) in
+    (resolve ctx parent_path, leaf)
+
+let create ctx path =
+  let dir, leaf = parent_and_leaf ctx path in
+  Fs.create ctx ~dir leaf
+
+let mkdir ctx path =
+  let dir, leaf = parent_and_leaf ctx path in
+  Fs.mkdir ctx ~dir leaf
+
+let rec mkdir_p ctx path =
+  match resolve ctx path with
+  | inum -> inum
+  | exception Error Enoent ->
+    let dir_path =
+      match List.rev (normalise (split path)) with
+      | _ :: rparents -> "/" ^ String.concat "/" (List.rev rparents)
+      | [] -> "/"
+    in
+    ignore (mkdir_p ctx dir_path);
+    mkdir ctx path
+
+let symlink ctx path ~target =
+  let dir, leaf = parent_and_leaf ctx path in
+  Fs.symlink ctx ~dir leaf ~target
+
+let unlink ctx path =
+  let dir, leaf = parent_and_leaf ctx path in
+  Fs.unlink ctx ~dir leaf
+
+let rmdir ctx path =
+  let dir, leaf = parent_and_leaf ctx path in
+  Fs.rmdir ctx ~dir leaf
+
+let rename ctx src dst =
+  let s = normalise (split src) and d = normalise (split dst) in
+  (* Cycle check: a directory may not move into its own subtree. *)
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' -> x = y && is_prefix a' b'
+    | _, [] -> false
+  in
+  if is_prefix s d then fail Einval;
+  let sdir, sname = parent_and_leaf ctx src in
+  let ddir, dname = parent_and_leaf ctx dst in
+  Fs.rename ctx ~sdir sname ~ddir dname
+
+let stat ctx path = Fs.stat ctx (resolve ctx path)
+
+let read_file ctx path =
+  let inum = resolve ctx path in
+  let st = Fs.stat ctx inum in
+  Fs.read ctx inum ~off:0 ~len:st.Fs.size
+
+let write_file ctx path data =
+  let inum =
+    match resolve ctx path with
+    | inum -> Fs.truncate ctx inum ~size:0; inum
+    | exception Error Enoent -> create ctx path
+  in
+  Fs.write ctx inum ~off:0 data;
+  inum
+
+let exists ctx path =
+  match resolve ctx path with _ -> true | exception Error Enoent -> false

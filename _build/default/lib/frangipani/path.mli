@@ -1,0 +1,33 @@
+(** Convenience path layer over the inode-based {!Fs} API: absolute
+    slash-separated paths, lexical ["."]/[".."] handling, bounded
+    symlink following, and the directory-rename cycle check. This is
+    the namei role the kernel plays above a real Frangipani. *)
+
+val resolve : ?follow:bool -> Fs.t -> string -> int
+(** Resolve an absolute path to an inode number. [follow] (default
+    true) follows a trailing symlink; intermediate symlinks are
+    always followed, up to 8 deep. *)
+
+val create : Fs.t -> string -> int
+val mkdir : Fs.t -> string -> int
+
+val mkdir_p : Fs.t -> string -> int
+(** Create all missing ancestors; returns the leaf directory. *)
+
+val symlink : Fs.t -> string -> target:string -> int
+val unlink : Fs.t -> string -> unit
+val rmdir : Fs.t -> string -> unit
+
+val rename : Fs.t -> string -> string -> unit
+(** Rename by path; rejects moving a directory into its own subtree
+    (the cycle check {!Fs.rename} delegates to this layer). *)
+
+val stat : Fs.t -> string -> Fs.stats
+
+val read_file : Fs.t -> string -> bytes
+(** The whole content of a regular file. *)
+
+val write_file : Fs.t -> string -> bytes -> int
+(** Create-or-truncate, then write; returns the inum. *)
+
+val exists : Fs.t -> string -> bool

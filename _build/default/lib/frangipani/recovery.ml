@@ -1,0 +1,36 @@
+(** The recovery demon (§4, §6).
+
+    Invoked by the lock service on a live server when another
+    server's lease expires. It seizes the dead server's log lock,
+    replays the log from Petal, and applies each diff only where the
+    on-disk sector's version number is older than the record's — so
+    updates that already reached Petal (or were superseded) are never
+    redone, and replaying a log twice is harmless. *)
+
+open Stdext
+
+let apply_diff ctx (d : Wal.diff) =
+  let sector = Petal.Client.read ctx.Ctx.vd ~off:d.addr ~len:Layout.sector in
+  if Codec.get_int sector 0 < d.version then begin
+    Bytes.blit d.data 0 sector d.doff (Bytes.length d.data);
+    Codec.put_int sector 0 d.version;
+    if not (Locksvc.Clerk.check_lease_margin ctx.Ctx.clerk) then
+      Errors.fail Errors.Eio;
+    Petal.Client.write ctx.Ctx.vd ~off:d.addr sector
+  end
+
+let run ctx ~dead_lease =
+  let slot = dead_lease mod Layout.max_servers in
+  Logs.info (fun m ->
+      m "%s: recovering log slot %d (lease %d)"
+        (Cluster.Host.name ctx.Ctx.host) slot dead_lease);
+  let lock = Lockns.log_lock slot in
+  Locksvc.Clerk.acquire_for_recovery ctx.Ctx.clerk ~lock;
+  Fun.protect
+    ~finally:(fun () -> Locksvc.Clerk.release ctx.Ctx.clerk ~lock Locksvc.Types.W)
+    (fun () ->
+      let diffs = Wal.scan ctx.Ctx.vd ~slot in
+      List.iter (apply_diff ctx) diffs;
+      Logs.info (fun m ->
+          m "%s: replayed %d diffs from slot %d"
+            (Cluster.Host.name ctx.Ctx.host) (List.length diffs) slot))

@@ -1,0 +1,263 @@
+open Stdext
+open Simkit
+
+type diff = { addr : int; doff : int; data : bytes; version : int }
+
+let payload_cap = 496 (* 512 - 8 lsn - 2 first_rec - 2 len - 4 crc *)
+
+type t = {
+  vd : Petal.Client.vdisk;
+  slot : int;
+  synchronous : bool;
+  lease_ok : unit -> bool;
+  mutable reclaim : upto_rid:int -> unit;
+  mutable next_rid : int;
+  mutable flushed_rid : int; (* records <= this are durable *)
+  mutable next_lsn : int; (* next sector lsn to write (starts at 1) *)
+  mutable applied_barrier : int; (* sectors <= this have their metadata applied *)
+  mutable rid_at_lsn : (int * int) list; (* (lsn, last rid fully contained) newest first *)
+  mutable pending : (int * bytes) list; (* (rid, serialized record) newest first *)
+  mutable pending_bytes : int;
+  mutable flushing : bool;
+  flush_done : Sim.Condition.t;
+}
+
+let create ~vd ~slot ~synchronous ~lease_ok =
+  {
+    vd;
+    slot;
+    synchronous;
+    lease_ok;
+    reclaim = (fun ~upto_rid:_ -> ());
+    next_rid = 0;
+    flushed_rid = 0;
+    next_lsn = 1;
+    applied_barrier = 0;
+    rid_at_lsn = [];
+    pending = [];
+    pending_bytes = 0;
+    flushing = false;
+    flush_done = Sim.Condition.create ();
+  }
+
+let set_reclaim_hook t f = t.reclaim <- f
+let last_rid t = t.next_rid
+
+let serialize_record diffs =
+  let w = Codec.W.create ~size:128 () in
+  Codec.W.u16 w (List.length diffs);
+  List.iter
+    (fun d ->
+      assert (d.addr mod Layout.sector = 0);
+      assert (d.doff + Bytes.length d.data <= Layout.sector);
+      Codec.W.int w d.addr;
+      Codec.W.u16 w d.doff;
+      Codec.W.u16 w (Bytes.length d.data);
+      Codec.W.int w d.version;
+      Codec.W.bytes w d.data)
+    diffs;
+  let body = Codec.W.contents w in
+  let out = Codec.W.create ~size:(Bytes.length body + 4) () in
+  Codec.W.u32 out (Bytes.length body);
+  Codec.W.bytes out body;
+  Codec.W.contents out
+
+let serialize_for_bench = serialize_record
+
+let sector_addr t lsn = Layout.log_addr ~slot:t.slot + ((lsn - 1) mod Layout.log_sectors * Layout.sector)
+
+(* Write the pending records out as log sectors, reclaiming space
+   from the circular buffer as needed. Only one flusher runs at a
+   time; concurrent callers wait for it (group commit). *)
+let rec flush t =
+  if t.flushing then begin
+    Sim.Condition.wait t.flush_done;
+    flush t
+  end
+  else if t.pending <> [] then begin
+    if not (t.lease_ok ()) then Errors.fail Errors.Eio;
+    t.flushing <- true;
+    let records = List.rev t.pending in
+    let highest_rid = t.next_rid in
+    t.pending <- [];
+    t.pending_bytes <- 0;
+    (* Concatenate the records, remembering where each starts and
+       which record each byte belongs to. *)
+    let total = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 records in
+    let stream = Bytes.create total in
+    let starts = ref [] (* stream offset of each record start *)
+    and ends = ref [] (* (stream end offset, rid) *) in
+    let pos = ref 0 in
+    List.iter
+      (fun (rid, b) ->
+        starts := !pos :: !starts;
+        Bytes.blit b 0 stream !pos (Bytes.length b);
+        pos := !pos + Bytes.length b;
+        ends := (!pos, rid) :: !ends)
+      records;
+    let starts = List.rev !starts and ends = List.rev !ends in
+    let nsectors = (total + payload_cap - 1) / payload_cap in
+    let base_lsn = t.next_lsn in
+    (* Build the sectors first, then write them clustered: a group
+       commit lands as one or two contiguous Petal writes. *)
+    let build s =
+      let lsn = base_lsn + s in
+      let off = s * payload_cap in
+      let len = min payload_cap (total - off) in
+      let sector = Bytes.make Layout.sector '\000' in
+      Codec.put_int sector 0 lsn;
+      let first_rec =
+        match List.find_opt (fun st -> st >= off && st < off + len) starts with
+        | Some st -> st - off
+        | None -> 0xffff
+      in
+      Codec.put_u16 sector 8 first_rec;
+      Codec.put_u16 sector 10 len;
+      Bytes.blit stream off sector 12 len;
+      Codec.put_u32 sector 508 (Crc32.bytes sector 0 508);
+      (lsn, sector)
+    in
+    (* Process in batches small enough to reclaim ahead of. *)
+    let batch = 64 in
+    let s = ref 0 in
+    while !s < nsectors do
+      let n = min batch (nsectors - !s) in
+      let last_lsn = base_lsn + !s + n - 1 in
+      (* Make room: sectors about to be overwritten held lsn - 256;
+         everything they described must be in place first. *)
+      if
+        last_lsn > Layout.log_sectors
+        && last_lsn - Layout.log_sectors > t.applied_barrier
+      then begin
+        let upto = last_lsn - 1 in
+        let rid_limit =
+          List.fold_left
+            (fun acc (l, r) -> if l <= upto then max acc r else acc)
+            0 t.rid_at_lsn
+        in
+        if rid_limit > 0 then t.reclaim ~upto_rid:rid_limit;
+        t.applied_barrier <- upto;
+        t.rid_at_lsn <- List.filter (fun (l, _) -> l > upto) t.rid_at_lsn
+      end;
+      let sectors = List.init n (fun i -> build (!s + i)) in
+      (* Split at the circular-buffer wrap and write each run as one
+         Petal write. *)
+      let rec write_runs = function
+        | [] -> ()
+        | (lsn0, _) :: _ as rest ->
+          let pos0 = (lsn0 - 1) mod Layout.log_sectors in
+          let fit = min (List.length rest) (Layout.log_sectors - pos0) in
+          let run = List.filteri (fun i _ -> i < fit) rest in
+          let tail = List.filteri (fun i _ -> i >= fit) rest in
+          Petal.Client.write t.vd ~off:(sector_addr t lsn0)
+            (Bytes.concat Bytes.empty (List.map snd run));
+          write_runs tail
+      in
+      write_runs sectors;
+      (* Account durability per written sector. *)
+      List.iter
+        (fun (lsn, _) ->
+          let soff = (lsn - base_lsn) * payload_cap in
+          let slen = min payload_cap (total - soff) in
+          let durable =
+            List.fold_left
+              (fun acc (e, rid) -> if e <= soff + slen then max acc rid else acc)
+              t.flushed_rid ends
+          in
+          t.flushed_rid <- max t.flushed_rid durable;
+          t.rid_at_lsn <- (lsn, durable) :: t.rid_at_lsn)
+        sectors;
+      s := !s + n;
+      t.next_lsn <- base_lsn + !s
+    done;
+    t.flushed_rid <- max t.flushed_rid highest_rid;
+    t.flushing <- false;
+    Sim.Condition.broadcast t.flush_done;
+    (* More records may have been appended while we were writing. *)
+    flush t
+  end
+
+let append t diffs =
+  t.next_rid <- t.next_rid + 1;
+  let rid = t.next_rid in
+  let b = serialize_record diffs in
+  t.pending <- (rid, b) :: t.pending;
+  t.pending_bytes <- t.pending_bytes + Bytes.length b;
+  if t.synchronous || t.pending_bytes >= Layout.log_bytes / 4 then flush t;
+  rid
+
+let ensure_flushed t rid =
+  while rid > t.flushed_rid do
+    flush t
+  done
+
+let discard_volatile t =
+  t.pending <- [];
+  t.pending_bytes <- 0
+
+(* --- recovery-side scan -------------------------------------------------- *)
+
+let scan vd ~slot =
+  let base = Layout.log_addr ~slot in
+  let raw = Petal.Client.read vd ~off:base ~len:Layout.log_bytes in
+  let sectors = ref [] in
+  for i = 0 to Layout.log_sectors - 1 do
+    let b = Bytes.sub raw (i * Layout.sector) Layout.sector in
+    let lsn = Codec.get_int b 0 in
+    if lsn > 0 && Codec.get_u32 b 508 = Crc32.bytes b 0 508 then
+      sectors := (lsn, b) :: !sectors
+  done;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !sectors in
+  (* Maximal run of consecutive LSNs ending at the highest one. *)
+  let live =
+    List.fold_left
+      (fun acc (lsn, b) ->
+        match acc with
+        | (prev, _) :: _ when lsn = prev + 1 -> (lsn, b) :: acc
+        | _ -> [ (lsn, b) ])
+      [] sorted
+    |> List.rev
+  in
+  match live with
+  | [] -> []
+  | _ ->
+    let payloads =
+      List.map
+        (fun (_, b) ->
+          let len = Codec.get_u16 b 10 in
+          Bytes.sub b 12 len)
+        live
+    in
+    let stream = Bytes.concat Bytes.empty payloads in
+    (* First record boundary: the oldest live sector may begin
+       mid-record (its head sectors were already overwritten). *)
+    let start =
+      let rec find acc sectors payloads =
+        match (sectors, payloads) with
+        | [], _ | _, [] -> Bytes.length stream
+        | (_, b) :: rest, p :: prest ->
+          let fr = Codec.get_u16 b 8 in
+          if fr <> 0xffff then acc + fr else find (acc + Bytes.length p) rest prest
+      in
+      find 0 live payloads
+    in
+    let diffs = ref [] in
+    let pos = ref start in
+    (try
+       while !pos + 4 <= Bytes.length stream do
+         let len = Codec.get_u32 stream !pos in
+         if !pos + 4 + len > Bytes.length stream then raise Exit;
+         let r = Codec.R.of_bytes ~pos:(!pos + 4) stream in
+         let ndiffs = Codec.R.u16 r in
+         for _ = 1 to ndiffs do
+           let addr = Codec.R.int r in
+           let doff = Codec.R.u16 r in
+           let dlen = Codec.R.u16 r in
+           let version = Codec.R.int r in
+           let data = Codec.R.bytes r dlen in
+           diffs := { addr; doff; data; version } :: !diffs
+         done;
+         pos := !pos + 4 + len
+       done
+     with Exit | Codec.R.Underflow -> ());
+    List.rev !diffs

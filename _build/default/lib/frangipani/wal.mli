@@ -1,0 +1,63 @@
+(** Per-server write-ahead redo log (paper §4).
+
+    Metadata updates are described as sub-sector diffs, each carrying
+    the new version number of the 512-byte metadata sector it
+    touches. Records are appended to an in-memory tail and written to
+    the server's private 128 KB log region in Petal — always before
+    the metadata they describe (write-ahead ordering is enforced
+    together with {!Cache}).
+
+    The log is a circular buffer of 256 sectors; each written sector
+    carries a monotonically increasing LSN, so recovery finds the
+    live window as the maximal run of consecutive LSNs, and sector
+    placement [(lsn-1) mod 256] makes the buffer circular. Before a
+    sector is overwritten, the metadata covered by the records about
+    to be lost is written to Petal (the paper's "reclaim the oldest
+    25%" policy generalised to exactly what is needed). Records are
+    replayed at recovery only into sectors whose version is older, so
+    replaying a stale record is harmless. *)
+
+type diff = {
+  addr : int;  (** sector-aligned Petal address of the metadata sector *)
+  doff : int;  (** offset of the change within the sector *)
+  data : bytes;
+  version : int;  (** the sector's version after this update *)
+}
+
+type t
+
+val create :
+  vd:Petal.Client.vdisk ->
+  slot:int ->
+  synchronous:bool ->
+  lease_ok:(unit -> bool) ->
+  t
+(** [slot] selects the private log region ([lease mod 256], §7).
+    [synchronous] makes every {!append} flush before returning (§4's
+    optional stronger failure semantics). [lease_ok] is consulted
+    before any Petal write — the §6 hazard check. *)
+
+val set_reclaim_hook : t -> (upto_rid:int -> unit) -> unit
+(** Install the cache's "write back all dirty metadata recorded by
+    records with id ≤ [upto_rid]" hook, used when the log wraps. *)
+
+val append : t -> diff list -> int
+(** Append one logical record (one metadata operation); returns its
+    record id, used as a durability barrier. *)
+
+val ensure_flushed : t -> int -> unit
+(** Block until the record with the given id is durable in Petal. *)
+
+val flush : t -> unit
+(** Write all pending records to Petal (group commit). *)
+
+val last_rid : t -> int
+val discard_volatile : t -> unit
+(** Crash simulation: drop the in-memory tail (unwritten records). *)
+
+val scan : Petal.Client.vdisk -> slot:int -> diff list
+(** Recovery: read a log region and return the diffs of all complete
+    records in the live window, in log order. *)
+
+val serialize_for_bench : diff list -> bytes
+(** The record serializer, exposed for the microbenchmark harness. *)

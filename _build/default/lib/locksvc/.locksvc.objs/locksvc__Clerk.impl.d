@@ -1,0 +1,1 @@
+lib/locksvc/clerk.ml: Array Cluster Hashtbl Host List Net Queue Rpc Sim Simkit Types

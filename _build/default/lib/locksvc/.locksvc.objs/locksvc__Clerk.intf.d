@@ -1,0 +1,1 @@
+lib/locksvc/clerk.mli: Cluster Simkit Types

@@ -1,0 +1,1 @@
+lib/locksvc/paxos_group.ml: Paxos Types

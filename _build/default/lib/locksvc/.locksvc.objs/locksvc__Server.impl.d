@@ -1,0 +1,1 @@
+lib/locksvc/server.ml: Array Cluster Hashtbl Host List Logs Net Paxos_group Queue Rpc Sim Simkit Types

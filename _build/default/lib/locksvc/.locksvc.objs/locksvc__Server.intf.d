@@ -1,0 +1,1 @@
+lib/locksvc/server.mli: Cluster Paxos_group Types

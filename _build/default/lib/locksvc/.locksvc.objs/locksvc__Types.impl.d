@@ -1,0 +1,1 @@
+lib/locksvc/types.ml: Cluster Hashtbl List Net Simkit

@@ -1,0 +1,10 @@
+(** The Paxos instance shared by the lock servers for their
+    replicated global state (server list, clerk list, leases). *)
+
+module P = Paxos.Make (struct
+  type t = Types.cmd
+end)
+
+type stable = P.stable
+
+let stable = P.stable

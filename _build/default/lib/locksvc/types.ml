@@ -1,0 +1,81 @@
+(** Wire protocol and shared definitions of the distributed lock
+    service (paper §6, the third — fully distributed — design).
+
+    Locks live in tables named by ASCII strings (one table per file
+    system) and are named by integers within a table. Locks are
+    partitioned into {!ngroups} lock groups; group [g] is served by
+    the [g mod n]-th of the [n] live lock servers, a deterministic
+    rule every party derives from the Paxos-replicated server list.
+
+    Clerks and lock servers communicate through asynchronous
+    [request] / [grant] / [revoke] / [release] messages, as in the
+    paper; opens and membership changes go through Paxos. *)
+
+open Cluster
+
+type mode = R | W
+
+let mode_geq a b = match (a, b) with W, _ -> true | R, R -> true | R, W -> false
+let compatible a b = a = R && b = R
+
+let default_ngroups = 100
+
+(* Timing constants (paper values). *)
+let lease_period = Simkit.Sim.sec 30.0
+let renew_interval = Simkit.Sim.sec 10.0
+let lease_margin = Simkit.Sim.sec 15.0
+let idle_discard = Simkit.Sim.sec 3600.0 (* sticky locks dropped after 1 h idle *)
+
+(** Replicated global state commands: the "small amount of global
+    state information that does not change often" (§6). *)
+type cmd =
+  | Add_clerk of { table : string; addr : Net.addr }
+  | Remove_clerk of { table : string; lease : int }
+  | Add_server of { addr : Net.addr }
+  | Remove_server of { addr : Net.addr }
+
+type Net.payload +=
+  (* clerk <-> server RPCs *)
+  | L_open of { table : string }
+  | L_opened of { lease : int; servers : Net.addr list; ngroups : int }
+  | L_close of { table : string; lease : int }
+  | L_closed
+  | L_renew of { lease : int }
+  | L_renewed
+  | L_sync
+  | L_synced of { servers : Net.addr list; ngroups : int }
+  (* asynchronous lock traffic *)
+  | L_request of {
+      table : string;
+      lease : int;
+      lock : int;
+      mode : mode;
+      for_recovery : bool;
+    }
+  | L_grant of { table : string; lock : int; mode : mode }
+  | L_revoke of { table : string; lock : int; to_mode : mode option }
+      (** [to_mode = Some R]: downgrade; [None]: release. *)
+  | L_release of { table : string; lease : int; lock : int; to_mode : mode option }
+  (* failure handling *)
+  | L_do_recovery of { table : string; dead_lease : int }
+  | L_recovered of { table : string; dead_lease : int }
+  | L_get_state of { table : string; group : int }
+  | L_state of { held : (string * int * mode) list }
+  | S_heartbeat
+  | L_err of string
+
+let msg = 64 (* nominal size of the small lock-protocol messages *)
+
+let group_of ~ngroups ~table ~lock = Hashtbl.hash (table, lock) mod ngroups
+
+let owner_of ~servers ~ngroups ~table ~lock =
+  match servers with
+  | [] -> None
+  | _ ->
+    let g = group_of ~ngroups ~table ~lock in
+    Some (List.nth servers (g mod List.length servers))
+
+exception Lease_expired
+(** Raised by clerk operations after the clerk's lease has lapsed
+    (network partition from the lock service); the file system must
+    be unmounted to clear the condition (paper §6). *)

@@ -1,0 +1,50 @@
+(** Lamport's Paxos as a multi-instance replicated command log.
+
+    The paper's lock service replicates "a small amount of global
+    state information that does not change often" with Paxos (§6),
+    reusing an implementation written for Petal. This module plays
+    that role: a fixed group of replicas (the lock servers) agrees on
+    a totally-ordered log of commands; each replica applies the log
+    prefix, in order, exactly once, to its local copy of the state.
+
+    Safety holds with any minority of replicas crashed or partitioned
+    away; liveness requires a majority up and mutually reachable.
+    Acceptor state must survive crashes for safety, so it lives in a
+    {!type:stable} record the caller keeps across restarts — the
+    model of a small on-disk/NVRAM area, the same assumption the
+    original makes. *)
+
+module Make (C : sig
+  type t
+end) : sig
+  type t
+
+  type stable
+  (** A replica's durable acceptor state. *)
+
+  val stable : unit -> stable
+
+  val create :
+    rpc:Cluster.Rpc.t ->
+    group:int ->
+    peers:Cluster.Net.addr list ->
+    id:int ->
+    stable:stable ->
+    apply:(int -> C.t -> unit) ->
+    t
+  (** Start a replica. [peers] lists all replicas' addresses
+      (including this one); [id] is this replica's index in [peers];
+      [group] isolates independent Paxos groups sharing a network.
+      [apply slot cmd] is invoked in strict slot order, exactly once
+      per slot, as commands become known decided. Registers handlers
+      on [rpc] and starts a catch-up daemon. *)
+
+  val propose : t -> C.t -> int
+  (** Block until the given command is chosen in some slot, retrying
+      with higher ballots / later slots as needed; returns the slot.
+      May block forever if a majority is unreachable. *)
+
+  val decided : t -> int -> C.t option
+  val applied_up_to : t -> int
+  (** Slots [0 .. applied_up_to - 1] have been applied locally. *)
+end

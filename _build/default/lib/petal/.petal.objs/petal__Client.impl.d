@@ -1,0 +1,1 @@
+lib/petal/client.ml: Array Bytes Cluster Fun List Net Protocol Rpc Sim Simkit

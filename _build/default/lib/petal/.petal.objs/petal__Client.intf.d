@@ -1,0 +1,1 @@
+lib/petal/client.mli: Cluster

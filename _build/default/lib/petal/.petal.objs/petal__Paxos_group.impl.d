@@ -1,0 +1,1 @@
+lib/petal/paxos_group.ml: Paxos Protocol

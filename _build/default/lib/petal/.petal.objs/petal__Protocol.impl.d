@@ -1,0 +1,1 @@
+lib/petal/protocol.ml: Cluster Net

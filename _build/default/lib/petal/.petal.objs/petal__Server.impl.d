@@ -1,0 +1,1 @@
+lib/petal/server.ml: Array Blockdev Bytes Cluster Hashtbl Host Lazy List Logs Net Paxos_group Protocol Rpc Sim Simkit

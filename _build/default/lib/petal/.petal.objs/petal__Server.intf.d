@@ -1,0 +1,1 @@
+lib/petal/server.mli: Blockdev Cluster Paxos_group

@@ -1,0 +1,1 @@
+lib/petal/testbed.ml: Array Blockdev Client Cluster Host Net Paxos_group Printf Rpc Server

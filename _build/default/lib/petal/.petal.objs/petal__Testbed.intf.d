@@ -1,0 +1,1 @@
+lib/petal/testbed.mli: Blockdev Client Cluster Server

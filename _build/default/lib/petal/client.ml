@@ -1,0 +1,177 @@
+open Simkit
+open Cluster
+open Protocol
+
+type t = {
+  rpc : Rpc.t;
+  servers : Net.addr array;
+  timeout : Sim.time;
+  mutable write_guard : unit -> int option;
+      (* expiration timestamp attached to every write (§6 fix) *)
+  mutable write_ops : int;
+  mutable write_ns : int;
+  mutable read_ops : int;
+  mutable read_ns : int;
+}
+
+type vdisk = {
+  c : t;
+  vid : int;
+  root : int;
+  nrep : int;
+  frozen : int option;
+}
+
+(* The per-replica timeout must comfortably exceed a queued raw-disk
+   write burst; failover latency is dominated by it, so it trades
+   responsiveness against spurious degradation. *)
+let connect ~rpc ~servers =
+  { rpc; servers; timeout = Sim.sec 2.0; write_guard = (fun () -> None);
+    write_ops = 0; write_ns = 0; read_ops = 0; read_ns = 0 }
+
+let set_write_guard v f = v.c.write_guard <- f
+
+let op_stats v =
+  (v.c.write_ops, float_of_int v.c.write_ns /. 1e9, v.c.read_ops,
+   float_of_int v.c.read_ns /. 1e9)
+
+let primary_of t ~root ~chunk = (root + chunk) mod Array.length t.servers
+let secondary_of t ~root ~chunk = (primary_of t ~root ~chunk + 1) mod Array.length t.servers
+
+(* Try the primary, then (for replicated disks) the replica. *)
+let call_replicas t ~root ~chunk ~nrep ~size req_of =
+  let try_one dst req =
+    match Rpc.call t.rpc ~dst:t.servers.(dst) ~timeout:t.timeout ~size req with
+    | Ok reply -> Some reply
+    | Error `Timeout -> None
+  in
+  match try_one (primary_of t ~root ~chunk) (req_of ~solo:false) with
+  | Some r -> r
+  | None when nrep > 1 -> (
+    match try_one (secondary_of t ~root ~chunk) (req_of ~solo:true) with
+    | Some r -> r
+    | None -> raise (Unavailable "petal: no replica reachable"))
+  | None -> raise (Unavailable "petal: server unreachable")
+
+let mgmt t cmd =
+  let n = Array.length t.servers in
+  let rec go i =
+    if i >= n then raise (Unavailable "petal: no server for management op")
+    else
+      match
+        Rpc.call t.rpc ~dst:t.servers.(i) ~timeout:(Sim.sec 2.0) ~size:small
+          (Mgmt_req cmd)
+      with
+      | Ok (Mgmt_ok id) -> id
+      | Ok (Perr e) -> failwith ("petal: " ^ e)
+      | Ok _ | Error `Timeout -> go (i + 1)
+  in
+  go 0
+
+let create_vdisk t ~nrep = mgmt t (Create_vdisk { nrep })
+
+let open_vdisk t vid =
+  let n = Array.length t.servers in
+  let rec go i =
+    if i >= n then raise (Unavailable "petal: no server for open")
+    else
+      match
+        Rpc.call t.rpc ~dst:t.servers.(i) ~timeout:(Sim.ms 500) ~size:small
+          (Vdisk_info_req vid)
+      with
+      | Ok (Vdisk_info { root; nrep; frozen }) -> { c = t; vid; root; nrep; frozen }
+      | Ok (Perr e) -> failwith ("petal: " ^ e)
+      | Ok _ | Error `Timeout -> go (i + 1)
+  in
+  go 0
+
+let id v = v.vid
+let is_snapshot v = v.frozen <> None
+
+let check_aligned ~off ~len =
+  if off < 0 || len < 0 || off mod sector_bytes <> 0 || len mod sector_bytes <> 0
+  then invalid_arg "petal: unaligned I/O"
+
+(* Split [off, off+len) into (chunk, within, n) pieces. *)
+let pieces ~off ~len =
+  let rec go off len acc =
+    if len = 0 then List.rev acc
+    else begin
+      let chunk = off / chunk_bytes in
+      let within = off mod chunk_bytes in
+      let n = min len (chunk_bytes - within) in
+      go (off + n) (len - n) ((chunk, within, n) :: acc)
+    end
+  in
+  go off len []
+
+let sel v = match v.frozen with Some e -> At e | None -> Current
+
+let read v ~off ~len =
+  check_aligned ~off ~len;
+  let t0 = Sim.now () in
+  v.c.read_ops <- v.c.read_ops + 1;
+  Fun.protect ~finally:(fun () -> v.c.read_ns <- v.c.read_ns + (Sim.now () - t0))
+  @@ fun () ->
+  let buf = Bytes.create len in
+  let pos = ref 0 in
+  List.iter
+    (fun (chunk, within, n) ->
+      let reply =
+        call_replicas v.c ~root:v.root ~chunk ~nrep:v.nrep ~size:read_req_size
+          (fun ~solo:_ ->
+            Read_req { root = v.root; chunk; within; len = n; sel = sel v })
+      in
+      (match reply with
+      | Read_ok data -> Bytes.blit data 0 buf !pos n
+      | _ -> failwith "petal: bad read reply");
+      pos := !pos + n)
+    (pieces ~off ~len);
+  buf
+
+let write v ~off data =
+  if is_snapshot v then raise Read_only;
+  let len = Bytes.length data in
+  check_aligned ~off ~len;
+  let t0 = Sim.now () in
+  v.c.write_ops <- v.c.write_ops + 1;
+  Fun.protect ~finally:(fun () -> v.c.write_ns <- v.c.write_ns + (Sim.now () - t0))
+  @@ fun () ->
+  let pos = ref 0 in
+  List.iter
+    (fun (chunk, within, n) ->
+      let piece = Bytes.sub data !pos n in
+      let expires = v.c.write_guard () in
+      let reply =
+        call_replicas v.c ~root:v.root ~chunk ~nrep:v.nrep
+          ~size:(write_req_size n) (fun ~solo ->
+            Write_req { root = v.root; chunk; within; data = piece; solo; expires })
+      in
+      (match reply with
+      | Write_ok -> ()
+      | Perr "expired lease timestamp" -> raise (Stale_write "expired lease timestamp")
+      | Perr e -> failwith ("petal: " ^ e)
+      | _ -> failwith "petal: bad write reply");
+      pos := !pos + n)
+    (pieces ~off ~len)
+
+let decommit v ~off ~len =
+  if is_snapshot v then raise Read_only;
+  check_aligned ~off ~len;
+  if off mod chunk_bytes <> 0 || len mod chunk_bytes <> 0 then
+    invalid_arg "petal: decommit must be chunk-aligned";
+  List.iter
+    (fun (chunk, _, _) ->
+      let reply =
+        call_replicas v.c ~root:v.root ~chunk ~nrep:v.nrep ~size:small
+          (fun ~solo ->
+            Decommit_req { root = v.root; chunk; forward = not solo })
+      in
+      match reply with
+      | Decommit_ok -> ()
+      | _ -> failwith "petal: bad decommit reply")
+    (pieces ~off ~len)
+
+let snapshot v =
+  if is_snapshot v then raise Read_only;
+  mgmt v.c (Snapshot { src = v.vid })

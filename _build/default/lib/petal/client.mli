@@ -1,0 +1,54 @@
+(** The Petal "device driver": makes the distributed virtual disk
+    look like an ordinary local disk to its host (paper §2.1).
+
+    It routes each chunk request to the responsible server, fails
+    over to the replica on timeout, and hides striping entirely.
+    All offsets and lengths must be 512-byte aligned; requests may
+    span chunk boundaries and are split internally. *)
+
+type t
+(** A driver instance (one per client host). *)
+
+type vdisk
+(** An open virtual disk. *)
+
+val connect : rpc:Cluster.Rpc.t -> servers:Cluster.Net.addr array -> t
+
+val create_vdisk : t -> nrep:int -> int
+(** Ask the Petal cluster to create a virtual disk with [nrep] (1 or
+    2) replicas; returns its id. *)
+
+val open_vdisk : t -> int -> vdisk
+(** Fetch the disk's metadata from the cluster and return a handle.
+    Raises {!Protocol.Unavailable} if no server answers. *)
+
+val id : vdisk -> int
+val is_snapshot : vdisk -> bool
+
+val read : vdisk -> off:int -> len:int -> bytes
+(** Read [len] bytes at virtual offset [off]; uncommitted space reads
+    as zeros. *)
+
+val write : vdisk -> off:int -> bytes -> unit
+(** Durable when it returns (both replicas for 2-way disks, modulo
+    degraded mode when a replica is down). Raises
+    {!Protocol.Read_only} on snapshots. *)
+
+val decommit : vdisk -> off:int -> len:int -> unit
+(** Free the physical space backing a chunk-aligned range. *)
+
+val snapshot : vdisk -> int
+(** Create a crash-consistent copy-on-write snapshot; returns the
+    read-only snapshot disk's id. *)
+
+val set_write_guard : vdisk -> (unit -> int option) -> unit
+(** Install the §6 lease guard: the function is called on every write
+    and its result travels with the request as an expiration
+    timestamp; a Petal server ignores writes that arrive after it
+    (raising {!Protocol.Stale_write} back at the client). Frangipani
+    sets it to [lease_valid_until - margin] at mount. *)
+
+val op_stats : vdisk -> int * float * int * float
+(** [(write_ops, write_seconds, read_ops, read_seconds)] accumulated
+    by this driver instance — simulated time spent inside Petal
+    operations, for performance debugging. *)

@@ -1,0 +1,10 @@
+(** The Paxos instance shared by all Petal servers for their
+    replicated virtual-disk table. *)
+
+module P = Paxos.Make (struct
+  type t = Protocol.mgmt_cmd
+end)
+
+type stable = P.stable
+
+let stable = P.stable

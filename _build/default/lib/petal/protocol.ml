@@ -1,0 +1,71 @@
+(** Wire protocol and shared constants of the Petal virtual-disk
+    service.
+
+    Virtual addresses are OCaml ints, so the paper's 2{^64}-byte
+    address space becomes 2{^62} here; all other constants (64 KB
+    commit granularity, 512 B sectors) are the paper's. *)
+
+open Cluster
+
+let chunk_bytes = 65536
+(** Physical space is committed and decommitted in 64 KB chunks. *)
+
+let sector_bytes = 512
+
+(** Which epoch of a chunk a read refers to: the live disk or a
+    snapshot frozen at a given epoch. *)
+type epoch_sel = Current | At of int
+
+(** Management commands agreed on via Paxos; applying them in log
+    order keeps every server's virtual-disk table identical. *)
+type mgmt_cmd =
+  | Create_vdisk of { nrep : int }
+  | Snapshot of { src : int }  (** Freeze [src]'s current epoch. *)
+
+type Net.payload +=
+  | Read_req of { root : int; chunk : int; within : int; len : int; sel : epoch_sel }
+  | Read_ok of bytes
+  | Write_req of {
+      root : int;
+      chunk : int;
+      within : int;
+      data : bytes;
+      solo : bool;  (** Degraded-mode write: do not forward to the replica. *)
+      expires : int option;
+          (** §6's proposed guard: the writer's lease expiry (minus
+              margin); the server ignores the write if it arrives
+              later than this instant. *)
+    }
+  | Repl_req of {
+      root : int;
+      chunk : int;
+      within : int;
+      data : bytes;
+      epoch : int;
+      expires : int option;
+    }
+  | Write_ok
+  | Decommit_req of { root : int; chunk : int; forward : bool }
+  | Decommit_ok
+  | Mgmt_req of mgmt_cmd
+  | Mgmt_ok of int  (** The id assigned to the new (or snapshot) virtual disk. *)
+  | Vdisk_info_req of int
+  | Vdisk_info of { root : int; nrep : int; frozen : int option }
+  | Perr of string
+
+(* Message-size accounting (bytes of simulated wire traffic). *)
+let hdr = 64
+let read_req_size = hdr
+let read_ok_size len = hdr + len
+let write_req_size len = hdr + len
+let small = 32
+
+exception Unavailable of string
+(** No replica of the addressed data is reachable. *)
+
+exception Read_only
+(** Write or decommit attempted on a snapshot. *)
+
+exception Stale_write of string
+(** A Petal server refused a write whose lease-derived expiration
+    timestamp had passed (the §6 hazard guard). *)

@@ -1,0 +1,381 @@
+open Simkit
+open Cluster
+open Protocol
+module P = Paxos_group.P
+
+type vinfo = {
+  root : int;
+  mutable epoch : int;
+  frozen : int option; (* Some e: snapshot frozen at epoch e (read-only) *)
+  nrep : int;
+}
+
+(* One stored version of a chunk: the extent written during [epoch],
+   or a tombstone ([loc = None]) recording a decommit. *)
+type version = { epoch : int; loc : (int * int) option (* disk index, offset *) }
+
+type t = {
+  host : Host.t;
+  rpc : Rpc.t;
+  peers : Net.addr array;
+  index : int;
+  disks : Blockdev.Storage.t array;
+  (* (vdisk root, chunk index) -> versions, newest first *)
+  chunks : (int * int, version list ref) Hashtbl.t;
+  vdisks : (int, vinfo) Hashtbl.t;
+  mutable next_id : int;
+  slot_ids : (int, int) Hashtbl.t; (* paxos slot -> id assigned by apply *)
+  paxos : P.t;
+  next_off : int array; (* per-disk allocation frontier *)
+  free : int list ref array; (* per-disk extent free lists *)
+  mutable alloc_rr : int;
+  mutable allocated : int;
+  (* Chunks whose replica on [peer] is known stale (a degraded write
+     happened while it was unreachable); the resync daemon pushes
+     them when the peer comes back. *)
+  degraded : (Net.addr, (int * int, unit) Hashtbl.t) Hashtbl.t;
+  (* §2.2's NFS-level security measure: when set, data and management
+     requests are accepted only from these addresses (the trusted
+     Frangipani server machines) and from Petal peers. *)
+  mutable trusted : (Net.addr, unit) Hashtbl.t option;
+}
+
+let host t = t.host
+let index t = t.index
+
+let set_trusted t addrs =
+  match addrs with
+  | None -> t.trusted <- None
+  | Some l ->
+    let h = Hashtbl.create 8 in
+    List.iter (fun a -> Hashtbl.replace h a ()) l;
+    Array.iter (fun a -> Hashtbl.replace h a ()) t.peers;
+    t.trusted <- Some h
+
+let authorized t src =
+  match t.trusted with None -> true | Some h -> Hashtbl.mem h src
+
+let degraded_set t peer =
+  match Hashtbl.find_opt t.degraded peer with
+  | Some set -> set
+  | None ->
+    let set = Hashtbl.create 16 in
+    Hashtbl.replace t.degraded peer set;
+    set
+
+let mark_degraded t ~peer ~root ~chunk =
+  Hashtbl.replace (degraded_set t peer) (root, chunk) ()
+
+let degraded_count t =
+  Hashtbl.fold (fun _ set acc -> acc + Hashtbl.length set) t.degraded 0
+
+let chunk_count t =
+  Hashtbl.fold
+    (fun _ vl acc ->
+      acc + List.length (List.filter (fun v -> v.loc <> None) !vl))
+    t.chunks 0
+
+let disk_bytes_allocated t = t.allocated
+
+(* --- virtual-disk table maintenance (Paxos apply) ------------------- *)
+
+let apply t slot cmd =
+  match cmd with
+  | Create_vdisk { nrep } ->
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Hashtbl.replace t.vdisks id { root = id; epoch = 0; frozen = None; nrep };
+    Hashtbl.replace t.slot_ids slot id
+  | Snapshot { src } -> (
+    match Hashtbl.find_opt t.vdisks src with
+    | None -> Hashtbl.replace t.slot_ids slot (-1)
+    | Some v ->
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      Hashtbl.replace t.vdisks id
+        { root = v.root; epoch = v.epoch; frozen = Some v.epoch; nrep = v.nrep };
+      v.epoch <- v.epoch + 1;
+      Hashtbl.replace t.slot_ids slot id)
+
+(* --- physical extent allocation -------------------------------------- *)
+
+let allocate t =
+  let d = t.alloc_rr mod Array.length t.disks in
+  t.alloc_rr <- t.alloc_rr + 1;
+  t.allocated <- t.allocated + chunk_bytes;
+  match !(t.free.(d)) with
+  | off :: rest ->
+    t.free.(d) := rest;
+    (d, off)
+  | [] ->
+    let off = t.next_off.(d) in
+    if off + chunk_bytes > t.disks.(d).Blockdev.Storage.capacity then
+      failwith (Host.name t.host ^ ": petal server out of disk space");
+    t.next_off.(d) <- off + chunk_bytes;
+    (d, off)
+
+let free_extent t (d, off) =
+  t.free.(d) := off :: !(t.free.(d));
+  t.allocated <- t.allocated - chunk_bytes
+
+(* --- chunk I/O -------------------------------------------------------- *)
+
+let versions t key =
+  match Hashtbl.find_opt t.chunks key with
+  | Some vl -> vl
+  | None ->
+    let vl = ref [] in
+    Hashtbl.replace t.chunks key vl;
+    vl
+
+let select_version vl sel =
+  match sel with
+  | Current -> ( match vl with v :: _ -> Some v | [] -> None)
+  | At e -> List.find_opt (fun v -> v.epoch <= e) vl
+
+exception Damaged
+(* A media error (CRC) under this chunk: the caller falls back to the
+   replica and triggers repair (§4: "Petal's built-in replication can
+   ordinarily recover it"). *)
+
+let read_chunk t ~root ~chunk ~within ~len ~sel =
+  let vl = versions t (root, chunk) in
+  match select_version !vl sel with
+  | None | Some { loc = None; _ } -> Bytes.make len '\000'
+  | Some { loc = Some (d, off); _ } -> (
+    try t.disks.(d).Blockdev.Storage.read ~off:(off + within) ~len
+    with Blockdev.Disk.Bad_sector _ -> raise Damaged)
+
+(* Overwrite the damaged extent with a clean copy (repairs the medium
+   in our disk model, as a real remap-and-rewrite would). *)
+let repair_chunk t ~root ~chunk ~data =
+  let vl = versions t (root, chunk) in
+  match !vl with
+  | { loc = Some (d, off); _ } :: _ when Bytes.length data = chunk_bytes ->
+    t.disks.(d).Blockdev.Storage.write ~off data
+  | _ -> ()
+
+(* Write [data] into the chunk under epoch tag [epoch], copying an
+   older extent first if a snapshot pinned it (copy-on-write). *)
+let write_chunk t ~root ~chunk ~within ~data ~epoch =
+  let vl = versions t (root, chunk) in
+  let whole = Bytes.length data = chunk_bytes && within = 0 in
+  match !vl with
+  | { epoch = e; loc = Some (d, off) } :: _ when e = epoch ->
+    t.disks.(d).Blockdev.Storage.write ~off:(off + within) data
+  | current ->
+    (* Fresh extent needed: tombstone at this epoch, older epoch, or
+       nothing stored yet. *)
+    let base =
+      if whole then Bytes.make 0 '\000'
+      else
+        match select_version current Current with
+        | Some { loc = Some (d, off); _ } ->
+          t.disks.(d).Blockdev.Storage.read ~off ~len:chunk_bytes
+        | Some { loc = None; _ } | None -> Bytes.make chunk_bytes '\000'
+    in
+    let buf = if whole then data else base in
+    if not whole then Bytes.blit data 0 buf within (Bytes.length data);
+    let d, off = allocate t in
+    t.disks.(d).Blockdev.Storage.write ~off buf;
+    (* Replace a same-epoch entry (tombstone, or a stale copy being
+       repaired by resync); otherwise insert keeping the list sorted
+       newest-first — a resync push may arrive with an older epoch
+       than our head if a snapshot happened while the peer was down. *)
+    let fresh = { epoch; loc = Some (d, off) } in
+    let rec place = function
+      | v :: rest when v.epoch > epoch -> v :: place rest
+      | v :: rest when v.epoch = epoch ->
+        (match v.loc with Some ext -> free_extent t ext | None -> ());
+        fresh :: rest
+      | rest -> fresh :: rest
+    in
+    vl := place current
+
+let decommit_chunk t ~root ~chunk ~epoch =
+  let vl = versions t (root, chunk) in
+  match !vl with
+  | [] -> ()
+  | { epoch = e; loc } :: rest when e = epoch ->
+    (match loc with Some ext -> free_extent t ext | None -> ());
+    (* If snapshot-pinned versions remain, the live disk must still
+       read as zeros: leave a tombstone. *)
+    if rest = [] then begin
+      vl := [];
+      Hashtbl.remove t.chunks (root, chunk)
+    end
+    else vl := { epoch; loc = None } :: rest
+  | current -> vl := { epoch; loc = None } :: current
+
+(* --- replication ------------------------------------------------------ *)
+
+let successor t = t.peers.((t.index + 1) mod Array.length t.peers)
+
+let forward_write t ~root ~chunk ~within ~data ~epoch ~expires =
+  match
+    Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500)
+      ~size:(write_req_size (Bytes.length data))
+      (Repl_req { root; chunk; within; data; epoch; expires })
+  with
+  | Ok Write_ok -> ()
+  | Ok _ | Error `Timeout ->
+    (* Degraded: the replica is unreachable; the write is single-copy
+       until the resync daemon repairs it. *)
+    Logs.debug (fun m -> m "%s: replica write degraded" (Host.name t.host));
+    mark_degraded t ~peer:(successor t) ~root ~chunk
+
+(* Push the newest version of a degraded chunk to its lagging
+   replica; returns true on acknowledgement. *)
+let push_chunk t ~peer ~root ~chunk =
+  match Hashtbl.find_opt t.chunks (root, chunk) with
+  | None -> true (* vanished (decommitted): nothing to repair *)
+  | Some vl -> (
+    match !vl with
+    | { epoch; loc = Some (d, off) } :: _ ->
+      let data = t.disks.(d).Blockdev.Storage.read ~off ~len:chunk_bytes in
+      (match
+         Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500)
+           ~size:(write_req_size chunk_bytes)
+           (Repl_req { root; chunk; within = 0; data; epoch; expires = None })
+       with
+      | Ok Write_ok -> true
+      | Ok _ | Error `Timeout -> false)
+    | { loc = None; _ } :: _ | [] -> true)
+
+let resync_daemon t () =
+  let rec loop () =
+    Sim.sleep (Sim.sec 2.0);
+    if Host.is_alive t.host && degraded_count t > 0 then
+      Hashtbl.iter
+        (fun peer set ->
+          let chunks = Hashtbl.fold (fun k () acc -> k :: acc) set [] in
+          List.iteri
+            (fun i (root, chunk) ->
+              if i < 16 then begin
+                match push_chunk t ~peer ~root ~chunk with
+                | true -> Hashtbl.remove set (root, chunk)
+                | false -> ()
+                | exception Host.Crashed _ -> ()
+              end)
+            chunks)
+        t.degraded;
+    loop ()
+  in
+  loop ()
+
+(* --- RPC handlers ------------------------------------------------------ *)
+
+let vdisk t root =
+  match Hashtbl.find_opt t.vdisks root with
+  | Some v -> v
+  | None -> failwith "petal: unknown virtual disk"
+
+(* §6's proposed fix for the lease-expiry hazard: reject any write
+   whose lease-derived expiration timestamp has already passed. *)
+let expired expires = match expires with Some e -> Sim.now () > e | None -> false
+
+let handler t ~src body =
+  match body with
+  | (Read_req _ | Write_req _ | Repl_req _ | Decommit_req _ | Mgmt_req _)
+    when not (authorized t src) ->
+    Some (Perr "unauthorized", small)
+  | Read_req { root; chunk; within; len; sel } -> (
+    match read_chunk t ~root ~chunk ~within ~len ~sel with
+    | data -> Some (Read_ok data, read_ok_size len)
+    | exception Damaged ->
+      (* Ask the replica for a clean whole-chunk copy, repair our
+         medium, and serve the read. *)
+      let v = vdisk t root in
+      if v.nrep > 1 then begin
+        match
+          Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500)
+            ~size:read_req_size
+            (Read_req { root; chunk; within = 0; len = chunk_bytes; sel })
+        with
+        | Ok (Read_ok clean) ->
+          Logs.info (fun m ->
+              m "%s: repaired damaged chunk (%d,%d) from replica"
+                (Host.name t.host) root chunk);
+          repair_chunk t ~root ~chunk ~data:clean;
+          Some (Read_ok (Bytes.sub clean within len), read_ok_size len)
+        | Ok _ | Error `Timeout -> Some (Perr "media error", small)
+      end
+      else Some (Perr "media error", small))
+  | Write_req { expires; _ } when expired expires ->
+    Some (Perr "expired lease timestamp", small)
+  | Write_req { root; chunk; within; data; solo; expires } ->
+    let v = vdisk t root in
+    let epoch = v.epoch in
+    (if solo && v.nrep > 1 then begin
+       (* Degraded client write: we are the replica; the primary
+          missed this update and must be repaired when it returns. *)
+       let primary = t.peers.((v.root + chunk) mod Array.length t.peers) in
+       if primary <> Rpc.addr t.rpc then mark_degraded t ~peer:primary ~root ~chunk
+     end);
+    if (not solo) && v.nrep > 1 then begin
+      (* Apply locally and forward to the replica in parallel. *)
+      let fwd = Sim.Ivar.create () in
+      Sim.spawn (fun () ->
+          forward_write t ~root ~chunk ~within ~data ~epoch ~expires;
+          Sim.Ivar.fill fwd ());
+      write_chunk t ~root ~chunk ~within ~data ~epoch;
+      Sim.Ivar.read fwd
+    end
+    else write_chunk t ~root ~chunk ~within ~data ~epoch;
+    Some (Write_ok, small)
+  | Repl_req { expires; _ } when expired expires ->
+    Some (Perr "expired lease timestamp", small)
+  | Repl_req { root; chunk; within; data; epoch; expires = _ } ->
+    write_chunk t ~root ~chunk ~within ~data ~epoch;
+    Some (Write_ok, small)
+  | Decommit_req { root; chunk; forward } ->
+    let v = vdisk t root in
+    decommit_chunk t ~root ~chunk ~epoch:v.epoch;
+    if forward && v.nrep > 1 then
+      ignore
+        (Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500) ~size:small
+           (Decommit_req { root; chunk; forward = false }));
+    Some (Decommit_ok, small)
+  | Mgmt_req cmd ->
+    let slot = P.propose t.paxos cmd in
+    while P.applied_up_to t.paxos <= slot do
+      Sim.sleep (Sim.ms 1)
+    done;
+    let id = Hashtbl.find t.slot_ids slot in
+    if id < 0 then Some (Perr "unknown source vdisk", small)
+    else Some (Mgmt_ok id, small)
+  | Vdisk_info_req id -> (
+    match Hashtbl.find_opt t.vdisks id with
+    | Some v -> Some (Vdisk_info { root = v.root; nrep = v.nrep; frozen = v.frozen }, small)
+    | None -> Some (Perr "unknown vdisk", small))
+  | _ -> None
+
+let create ~host ~rpc ~peers ~index ~disks ~stable =
+  let rec t =
+    lazy
+      {
+        host;
+        rpc;
+        peers;
+        index;
+        disks;
+        chunks = Hashtbl.create 4096;
+      degraded = Hashtbl.create 4;
+        trusted = None;
+        vdisks = Hashtbl.create 8;
+        next_id = 1;
+        slot_ids = Hashtbl.create 16;
+        paxos =
+          P.create ~rpc ~group:0x9e7a1 ~peers:(Array.to_list peers) ~id:index
+            ~stable
+            ~apply:(fun slot cmd -> apply (Lazy.force t) slot cmd);
+        next_off = Array.map (fun _ -> 0) disks;
+        free = Array.map (fun _ -> ref []) disks;
+        alloc_rr = 0;
+        allocated = 0;
+      }
+  in
+  let t = Lazy.force t in
+  Rpc.add_handler rpc (handler t);
+  Sim.spawn ~name:(Host.name host ^ ".resync") (resync_daemon t);
+  t

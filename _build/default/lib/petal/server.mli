@@ -1,0 +1,47 @@
+(** A Petal storage server.
+
+    Each server owns a set of local disks, stores 64 KB chunk
+    extents on them, answers chunk read/write/decommit requests, and
+    participates in the Paxos group that maintains the virtual-disk
+    table (creation, snapshots).
+
+    Chunk placement: the primary for chunk [c] of the virtual disk
+    rooted at [r] is server [(r + c) mod n]; the replica (for 2-way
+    replicated disks) is the successor. Writes arrive at the primary,
+    which applies them locally and forwards them to the replica
+    before acknowledging. Snapshots are copy-on-write: each stored
+    extent is tagged with the epoch it was written in, and a snapshot
+    bumps the source disk's epoch so later writes go to fresh
+    extents. *)
+
+type t
+
+val create :
+  host:Cluster.Host.t ->
+  rpc:Cluster.Rpc.t ->
+  peers:Cluster.Net.addr array ->
+  index:int ->
+  disks:Blockdev.Storage.t array ->
+  stable:Paxos_group.stable ->
+  t
+(** Start a Petal server: registers RPC handlers and joins the Paxos
+    group. [peers] are all Petal servers' addresses in ring order;
+    [index] is this server's position. *)
+
+val host : t -> Cluster.Host.t
+val index : t -> int
+
+val chunk_count : t -> int
+(** Number of live chunk extents stored (all epochs), for tests. *)
+
+val disk_bytes_allocated : t -> int
+(** Physical bytes committed on this server's disks. *)
+
+val set_trusted : t -> Cluster.Net.addr list option -> unit
+(** §2.2's partial security measure: accept data/management requests
+    only from the listed (trusted Frangipani server) addresses, plus
+    the Petal peers. [None] (the default) accepts everyone. *)
+
+val degraded_count : t -> int
+(** Chunks this server knows to be stale on some replica, pending
+    resync. Zero once anti-entropy has caught up after a failure. *)

@@ -1,0 +1,35 @@
+open Cluster
+
+type t = {
+  hosts : Host.t array;
+  servers : Server.t array;
+  addrs : Net.addr array;
+  rpcs : Rpc.t array;
+  disks : Blockdev.Disk.t array array; (* raw disks, for fault injection *)
+}
+
+let build ~net ?(nservers = 7) ?(ndisks = 9) ?(nvram = false)
+    ?(disk_capacity = 64 * 1024 * 1024) () =
+  let hosts = Array.init nservers (fun i -> Host.create (Printf.sprintf "petal%d" i)) in
+  let rpcs = Array.map (fun h -> Rpc.create (Net.attach net h)) hosts in
+  let addrs = Array.map Rpc.addr rpcs in
+  let raw_disks =
+    Array.init nservers (fun i ->
+        Array.init ndisks (fun d ->
+            Blockdev.Disk.create ~capacity:disk_capacity
+              (Printf.sprintf "petal%d.rz29-%d" i d)))
+  in
+  let servers =
+    Array.init nservers (fun i ->
+        let disks =
+          Array.map
+            (fun disk ->
+              if nvram then Blockdev.Nvram.wrap disk else Blockdev.Storage.of_disk disk)
+            raw_disks.(i)
+        in
+        Server.create ~host:hosts.(i) ~rpc:rpcs.(i) ~peers:addrs ~index:i ~disks
+          ~stable:(Paxos_group.stable ()))
+  in
+  { hosts; servers; addrs; rpcs; disks = raw_disks }
+
+let client t ~rpc = Client.connect ~rpc ~servers:t.addrs

@@ -1,0 +1,28 @@
+(** Convenience assembly of a Petal cluster (servers + hosts + disks)
+    used by tests, examples and the benchmark harness. *)
+
+type t = {
+  hosts : Cluster.Host.t array;
+  servers : Server.t array;
+  addrs : Cluster.Net.addr array;
+  rpcs : Cluster.Rpc.t array;  (** exposed so other services (e.g. lock
+      servers) can co-locate on the Petal machines, as in Figure 2 *)
+  disks : Blockdev.Disk.t array array;
+      (** the raw disks per server, for fault injection in tests *)
+}
+
+val build :
+  net:Cluster.Net.t ->
+  ?nservers:int ->
+  ?ndisks:int ->
+  ?nvram:bool ->
+  ?disk_capacity:int ->
+  unit ->
+  t
+(** Build a cluster: default 7 servers with 9 disks each (the paper's
+    testbed), NVRAM off, 64 MB per simulated disk (plenty for
+    experiments while keeping memory small — pass a larger
+    [disk_capacity] for long runs). *)
+
+val client : t -> rpc:Cluster.Rpc.t -> Client.t
+(** A driver instance on some (other) host, wired to this cluster. *)

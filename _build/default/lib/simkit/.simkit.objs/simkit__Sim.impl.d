@@ -1,0 +1,1 @@
+lib/simkit/sim.ml: Array Effect List Queue Random

@@ -1,0 +1,302 @@
+type time = int
+
+let ns t = t
+let us t = t * 1_000
+let ms t = t * 1_000_000
+let sec s = int_of_float (s *. 1e9 +. 0.5)
+let to_sec t = float_of_int t /. 1e9
+
+exception Deadlock of string
+exception Timed_out
+
+type event = {
+  at : time;
+  seq : int;
+  mutable cancelled : bool;
+  run : unit -> unit;
+}
+
+(* Binary min-heap of events ordered by (at, seq); seq breaks ties so
+   same-instant events run in schedule order. *)
+module Heap = struct
+  type t = { mutable arr : event array; mutable len : int }
+
+  let dummy = { at = 0; seq = 0; cancelled = true; run = ignore }
+  let create () = { arr = Array.make 256 dummy; len = 0 }
+
+  let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+  let push h ev =
+    if h.len = Array.length h.arr then begin
+      let arr = Array.make (2 * h.len) dummy in
+      Array.blit h.arr 0 arr 0 h.len;
+      h.arr <- arr
+    end;
+    h.arr.(h.len) <- ev;
+    h.len <- h.len + 1;
+    let rec up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if less h.arr.(i) h.arr.(p) then begin
+          let t = h.arr.(i) in
+          h.arr.(i) <- h.arr.(p);
+          h.arr.(p) <- t;
+          up p
+        end
+      end
+    in
+    up (h.len - 1)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      h.arr.(h.len) <- dummy;
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = if l < h.len && less h.arr.(l) h.arr.(i) then l else i in
+        let m = if r < h.len && less h.arr.(r) h.arr.(m) then r else m in
+        if m <> i then begin
+          let t = h.arr.(i) in
+          h.arr.(i) <- h.arr.(m);
+          h.arr.(m) <- t;
+          down m
+        end
+      in
+      down 0;
+      Some top
+    end
+end
+
+type engine = {
+  mutable now : time;
+  mutable seq : int;
+  heap : Heap.t;
+  rng : Random.State.t;
+}
+
+(* The engine currently executing; set only inside [run]. *)
+let current : engine option ref = ref None
+
+let engine () =
+  match !current with
+  | Some e -> e
+  | None -> invalid_arg "Sim: blocking operation performed outside Sim.run"
+
+let schedule eng at run =
+  eng.seq <- eng.seq + 1;
+  let ev = { at; seq = eng.seq; cancelled = false; run } in
+  Heap.push eng.heap ev;
+  ev
+
+type _ Effect.t +=
+  | E_sleep : time -> unit Effect.t
+  | E_spawn : (unit -> unit) -> unit Effect.t
+  | E_suspend : (('v -> unit) -> unit) -> 'v Effect.t
+
+let now () = (engine ()).now
+let rng () = (engine ()).rng
+let random_float x = Random.State.float (rng ()) x
+let random_int n =
+  (* Random.State.int is limited to bounds < 2^30, too small for
+     nanosecond durations. *)
+  if n <= 0 then 0 else Random.State.full_int (rng ()) n
+let sleep d = Effect.perform (E_sleep d)
+let spawn ?name:_ f = Effect.perform (E_spawn f)
+let suspend f = Effect.perform (E_suspend f)
+
+let run ?(seed = 42) ?until main =
+  let eng =
+    { now = 0; seq = 0; heap = Heap.create (); rng = Random.State.make [| seed |] }
+  in
+  let open Effect.Deep in
+  let rec exec f = match_with f () handler
+  and handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type c) (eff : c Effect.t) ->
+          match eff with
+          | E_sleep d ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                ignore (schedule eng (eng.now + max 0 d) (fun () -> continue k ())))
+          | E_spawn f ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                ignore (schedule eng eng.now (fun () -> exec f));
+                continue k ())
+          | E_suspend f ->
+            Some
+              (fun (k : (c, unit) continuation) ->
+                let resumed = ref false in
+                f (fun v ->
+                    if !resumed then invalid_arg "Sim.suspend: resumed twice";
+                    resumed := true;
+                    ignore (schedule eng eng.now (fun () -> continue k v))))
+          | _ -> None);
+    }
+  in
+  let result = ref None in
+  ignore (schedule eng 0 (fun () -> exec (fun () -> result := Some (main ()))));
+  let saved = !current in
+  current := Some eng;
+  let finish v =
+    current := saved;
+    v
+  in
+  let bail e =
+    current := saved;
+    raise e
+  in
+  let rec loop () =
+    match !result with
+    | Some v -> finish v
+    | None -> (
+      match Heap.pop eng.heap with
+      | None -> bail (Deadlock "Sim.run: main process blocked forever")
+      | Some ev ->
+        if ev.cancelled then loop ()
+        else begin
+          (match until with
+          | Some u when ev.at > u -> bail Timed_out
+          | _ -> ());
+          eng.now <- ev.at;
+          (try ev.run () with e -> bail e);
+          loop ()
+        end)
+  in
+  loop ()
+
+module Ivar = struct
+  type 'a t = { mutable value : 'a option; mutable waiters : ('a -> unit) list }
+
+  let create () = { value = None; waiters = [] }
+
+  let fill t v =
+    match t.value with
+    | Some _ -> invalid_arg "Ivar.fill: already filled"
+    | None ->
+      t.value <- Some v;
+      let ws = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter (fun w -> w v) ws
+
+  let read t =
+    match t.value with
+    | Some v -> v
+    | None -> suspend (fun resume -> t.waiters <- resume :: t.waiters)
+
+  let peek t = t.value
+  let is_filled t = t.value <> None
+end
+
+module Mailbox = struct
+  type 'a t = { msgs : 'a Queue.t; readers : ('a -> unit) Queue.t }
+
+  let create () = { msgs = Queue.create (); readers = Queue.create () }
+
+  let send t m =
+    match Queue.take_opt t.readers with
+    | Some r -> r m
+    | None -> Queue.push m t.msgs
+
+  let recv t =
+    match Queue.take_opt t.msgs with
+    | Some m -> m
+    | None -> suspend (fun resume -> Queue.push resume t.readers)
+
+  let try_recv t = Queue.take_opt t.msgs
+  let length t = Queue.length t.msgs
+end
+
+module Resource = struct
+  type t = {
+    rname : string;
+    capacity : int;
+    mutable in_use : int;
+    waiters : (unit -> unit) Queue.t;
+    mutable busy : int; (* integral of in_use over time since reset *)
+    mutable last_change : time;
+    mutable reset_at : time;
+  }
+
+  let create ?(capacity = 1) rname =
+    if capacity < 1 then invalid_arg "Resource.create: capacity < 1";
+    { rname; capacity; in_use = 0; waiters = Queue.create (); busy = 0;
+      last_change = 0; reset_at = 0 }
+
+  let name t = t.rname
+
+  let account t =
+    let n = now () in
+    t.busy <- t.busy + (t.in_use * (n - t.last_change));
+    t.last_change <- n
+
+  let acquire t =
+    if t.in_use < t.capacity then begin
+      account t;
+      t.in_use <- t.in_use + 1
+    end
+    else suspend (fun resume -> Queue.push (fun () -> resume ()) t.waiters)
+
+  let release t =
+    if t.in_use <= 0 then invalid_arg "Resource.release: not acquired";
+    match Queue.take_opt t.waiters with
+    | Some w -> w () (* hand the server over; in_use unchanged *)
+    | None ->
+      account t;
+      t.in_use <- t.in_use - 1
+
+  let use t d =
+    acquire t;
+    sleep d;
+    release t
+
+  let reset_stats t =
+    t.busy <- 0;
+    t.last_change <- now ();
+    t.reset_at <- now ()
+
+  let busy_time t =
+    account t;
+    t.busy
+
+  let utilization t =
+    account t;
+    let span = now () - t.reset_at in
+    if span <= 0 then 0.0
+    else float_of_int t.busy /. float_of_int (t.capacity * span)
+end
+
+module Condition = struct
+  type t = { mutable waiters : (unit -> unit) list }
+
+  let create () = { waiters = [] }
+  let wait t = suspend (fun resume -> t.waiters <- (fun () -> resume ()) :: t.waiters)
+
+  let broadcast t =
+    let ws = List.rev t.waiters in
+    t.waiters <- [];
+    List.iter (fun w -> w ()) ws
+end
+
+module Timer = struct
+  type t = { mutable fired : bool; mutable cancelled : bool }
+
+  let after d f =
+    let t = { fired = false; cancelled = false } in
+    spawn (fun () ->
+        sleep d;
+        if not t.cancelled then begin
+          t.fired <- true;
+          f ()
+        end);
+    t
+
+  let cancel t = t.cancelled <- true
+  let is_pending t = (not t.fired) && not t.cancelled
+end

@@ -1,0 +1,1 @@
+lib/stdext/codec.ml: Bytes Char Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/stdext/crc32.ml: Array Bytes Char Lazy String

@@ -1,0 +1,20 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xedb88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let bytes b off len =
+  let tbl = Lazy.force table in
+  let c = ref 0xffffffff in
+  for i = off to off + len - 1 do
+    c := tbl.((!c lxor Char.code (Bytes.get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let string s =
+  bytes (Bytes.unsafe_of_string s) 0 (String.length s)

@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to detect damaged sectors. *)
+
+val bytes : bytes -> int -> int -> int
+(** [bytes b off len] is the CRC of the given slice, as a non-negative
+    31-bit-safe int. *)
+
+val string : string -> int

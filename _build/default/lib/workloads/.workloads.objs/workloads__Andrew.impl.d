@@ -1,0 +1,1 @@
+lib/workloads/andrew.ml: Bytes Char Cluster List Printf Sim Simkit Vfs

@@ -1,0 +1,1 @@
+lib/workloads/connectathon.ml: Bytes List Printf Sim Simkit Vfs

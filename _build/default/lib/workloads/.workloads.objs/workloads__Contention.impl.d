@@ -1,0 +1,1 @@
+lib/workloads/contention.ml: Bytes Char List Sim Simkit Vfs

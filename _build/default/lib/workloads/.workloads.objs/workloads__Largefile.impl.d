@@ -1,0 +1,1 @@
+lib/workloads/largefile.ml: Bytes Cluster List Printf Sim Simkit Vfs

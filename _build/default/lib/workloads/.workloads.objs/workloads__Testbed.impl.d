@@ -1,0 +1,1 @@
+lib/workloads/testbed.ml: Array Cluster Frangipani Host List Locksvc Net Petal Printf Rpc

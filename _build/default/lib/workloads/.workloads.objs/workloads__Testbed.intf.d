@@ -1,0 +1,1 @@
+lib/workloads/testbed.mli: Cluster Frangipani Locksvc Petal

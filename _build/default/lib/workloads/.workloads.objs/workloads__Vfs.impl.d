@@ -1,0 +1,1 @@
+lib/workloads/vfs.ml: Advfs Cluster Frangipani Fs

@@ -1,0 +1,102 @@
+(** The Modified Andrew Benchmark (Table 1, Figure 5): five phases
+    over a small program-development source tree — create the
+    directory tree, copy the sources in, walk the tree statting
+    everything, read every file, then "compile" (CPU work plus object
+    files written back). Phase names follow the paper's figure.
+
+    The source tree models the classic MAB: 70 C files of a few KB
+    across a handful of directories, with a compile phase that
+    dominates elapsed time. *)
+
+open Simkit
+
+type phase = {
+  phase : string;
+  seconds : float;
+}
+
+type result = { phases : phase list; total : float }
+
+let ndirs = 5
+let files_per_dir = 14
+let file_size i = 2048 + (i * 997 mod 12288) (* 2–14 KB, deterministic *)
+let compile_cpu = Sim.ms 300 (* per source file on the modelled CPU *)
+
+let file_data i =
+  let n = file_size i in
+  Bytes.init n (fun k -> Char.chr (((k * 31) + i) mod 251))
+
+let timed f =
+  let t0 = Sim.now () in
+  f ();
+  Sim.to_sec (Sim.now () - t0)
+
+(** Run the benchmark under [root_name] (distinct per server in the
+    scaling experiment, Figure 5: "independent data sets"). *)
+let run (v : Vfs.t) ~root_name =
+  let base = v.Vfs.mkdir ~dir:v.Vfs.root root_name in
+  let dirs = ref [] in
+  let files = ref [] in
+  (* Phase 1: create directories. *)
+  let t1 =
+    timed (fun () ->
+        let src = v.Vfs.mkdir ~dir:base "src" in
+        for d = 0 to ndirs - 1 do
+          dirs := v.Vfs.mkdir ~dir:src (Printf.sprintf "dir%d" d) :: !dirs
+        done)
+  in
+  let dirs = List.rev !dirs in
+  (* Phase 2: copy files. *)
+  let t2 =
+    timed (fun () ->
+        List.iteri
+          (fun d dir ->
+            for f = 0 to files_per_dir - 1 do
+              let i = (d * files_per_dir) + f in
+              let inum = v.Vfs.create ~dir (Printf.sprintf "f%d.c" f) in
+              v.Vfs.write inum ~off:0 (file_data i);
+              files := (dir, inum, i) :: !files
+            done)
+          dirs)
+  in
+  let files = List.rev !files in
+  (* Phase 3: directory status (recursive stat). *)
+  let t3 =
+    timed (fun () ->
+        List.iter
+          (fun dir ->
+            List.iter (fun (_, inum) -> ignore (v.Vfs.size inum)) (v.Vfs.readdir dir))
+          dirs)
+  in
+  (* Phase 4: scan files (read every byte). *)
+  let t4 =
+    timed (fun () ->
+        List.iter
+          (fun (_, inum, _) ->
+            let n = v.Vfs.size inum in
+            ignore (v.Vfs.read inum ~off:0 ~len:n))
+          files)
+  in
+  (* Phase 5: compile — CPU work per source file plus a .o written. *)
+  let t5 =
+    timed (fun () ->
+        List.iter
+          (fun (dir, inum, i) ->
+            let n = v.Vfs.size inum in
+            ignore (v.Vfs.read inum ~off:0 ~len:n);
+            Cluster.Host.consume v.Vfs.host compile_cpu;
+            let o = v.Vfs.create ~dir (Printf.sprintf "o%d.o" i) in
+            v.Vfs.write o ~off:0 (Bytes.make (n * 3 / 2) 'O'))
+          files)
+  in
+  {
+    phases =
+      [
+        { phase = "Create Directories"; seconds = t1 };
+        { phase = "Copy Files"; seconds = t2 };
+        { phase = "Directory Status"; seconds = t3 };
+        { phase = "Scan Files"; seconds = t4 };
+        { phase = "Compile"; seconds = t5 };
+      ];
+    total = t1 +. t2 +. t3 +. t4 +. t5;
+  }

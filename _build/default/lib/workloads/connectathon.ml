@@ -1,0 +1,103 @@
+(** A Connectathon-style basic operations suite (the paper's Table 2
+    benchmark): each row exercises one class of file-system call many
+    times and reports its elapsed time. *)
+
+open Simkit
+
+type row = { test : string; ops : int; seconds : float }
+
+let nfiles = 50
+let tree_depth = 4
+
+let timed f =
+  let t0 = Sim.now () in
+  let ops = f () in
+  (ops, Sim.to_sec (Sim.now () - t0))
+
+let run (v : Vfs.t) ~root_name =
+  let base = v.Vfs.mkdir ~dir:v.Vfs.root root_name in
+  let rows = ref [] in
+  let record test (ops, seconds) = rows := { test; ops; seconds } :: !rows in
+
+  (* 1: file and directory creation. *)
+  let dirs = ref [ base ] in
+  record "create"
+    (timed (fun () ->
+         let d = ref base in
+         for lvl = 0 to tree_depth - 1 do
+           d := v.Vfs.mkdir ~dir:!d (Printf.sprintf "d%d" lvl);
+           dirs := !d :: !dirs
+         done;
+         for i = 0 to nfiles - 1 do
+           ignore (v.Vfs.create ~dir:base (Printf.sprintf "c%d" i))
+         done;
+         nfiles + tree_depth));
+  (* 2: removal. *)
+  record "remove"
+    (timed (fun () ->
+         for i = 0 to nfiles - 1 do
+           v.Vfs.unlink ~dir:base (Printf.sprintf "c%d" i)
+         done;
+         nfiles));
+  (* 3: lookups across the tree. *)
+  let f0 = v.Vfs.create ~dir:base "target" in
+  record "lookup"
+    (timed (fun () ->
+         for _ = 1 to 100 do
+           ignore (v.Vfs.lookup ~dir:base "target")
+         done;
+         100));
+  (* 4: getattr/setattr. *)
+  record "getattr/setattr"
+    (timed (fun () ->
+         for i = 1 to 50 do
+           ignore (v.Vfs.size f0);
+           v.Vfs.truncate f0 ~size:(i * 16)
+         done;
+         100));
+  (* 5: write a 1 MB file durably. *)
+  let big = v.Vfs.create ~dir:base "big" in
+  let chunk = Bytes.make 8192 'w' in
+  record "write 1MB + fsync"
+    (timed (fun () ->
+         for i = 0 to 127 do
+           v.Vfs.write big ~off:(i * 8192) chunk
+         done;
+         v.Vfs.fsync big;
+         128));
+  (* 6: read it back, uncached. *)
+  record "read 1MB uncached"
+    (timed (fun () ->
+         v.Vfs.drop_caches ();
+         for i = 0 to 127 do
+           ignore (v.Vfs.read big ~off:(i * 8192) ~len:8192)
+         done;
+         128));
+  (* 7: readdir. *)
+  record "readdir"
+    (timed (fun () ->
+         for _ = 1 to 50 do
+           ignore (v.Vfs.readdir base)
+         done;
+         50));
+  (* 8: rename and link. *)
+  record "rename+link"
+    (timed (fun () ->
+         for i = 0 to 24 do
+           let n = Printf.sprintf "r%d" i in
+           ignore (v.Vfs.create ~dir:base n);
+           v.Vfs.rename ~sdir:base n ~ddir:base (n ^ ".renamed");
+           v.Vfs.link ~dir:base (n ^ ".lnk")
+             ~inum:(v.Vfs.lookup ~dir:base (n ^ ".renamed"))
+         done;
+         75));
+  (* 9: symlink and readlink. *)
+  record "symlink+readlink"
+    (timed (fun () ->
+         for i = 0 to 24 do
+           let n = Printf.sprintf "s%d" i in
+           ignore (v.Vfs.symlink ~dir:base n ~target:"/some/where/else");
+           ignore (v.Vfs.readlink (v.Vfs.lookup ~dir:base n))
+         done;
+         50));
+  List.rev !rows

@@ -1,0 +1,64 @@
+open Cluster
+
+type t = {
+  net : Net.t;
+  petal : Petal.Testbed.t;
+  lock_servers : Locksvc.Server.t array;
+  lock_addrs : Net.addr array;
+  vdisk_id : int;
+  mutable frangipani : Frangipani.Fs.t list;
+  mutable addrs : (Frangipani.Fs.t * Net.addr) list;
+  mutable rpcs : (Frangipani.Fs.t * Rpc.t) list;
+}
+
+let build ?(petal_servers = 7) ?(ndisks = 9) ?(nvram = false) ?(nrep = 2)
+    ?(disk_capacity = 64 * 1024 * 1024) ?(ngroups = 100) () =
+  let net = Net.create () in
+  let petal =
+    Petal.Testbed.build ~net ~nservers:petal_servers ~ndisks ~nvram ~disk_capacity ()
+  in
+  (* Lock servers run on the Petal machines (Figure 2). *)
+  let lock_addrs = petal.Petal.Testbed.addrs in
+  let lock_servers =
+    Array.init petal_servers (fun i ->
+        Locksvc.Server.create ~host:petal.Petal.Testbed.hosts.(i)
+          ~rpc:petal.Petal.Testbed.rpcs.(i) ~peers:lock_addrs ~index:i ~ngroups
+          ~stable:(Locksvc.Paxos_group.stable ()) ())
+  in
+  (* Create and format the shared virtual disk from a setup client. *)
+  let setup_host = Host.create "setup" in
+  let setup_rpc = Rpc.create (Net.attach net setup_host) in
+  let pc = Petal.Testbed.client petal ~rpc:setup_rpc in
+  let vdisk_id = Petal.Client.create_vdisk pc ~nrep in
+  let vd = Petal.Client.open_vdisk pc vdisk_id in
+  Frangipani.Fs.format vd;
+  { net; petal; lock_servers; lock_addrs; vdisk_id; frangipani = []; addrs = [];
+    rpcs = [] }
+
+let fresh_client t name =
+  let h = Host.create name in
+  let rpc = Rpc.create (Net.attach t.net h) in
+  (h, rpc)
+
+let open_vdisk t ~rpc id =
+  let pc = Petal.Testbed.client t.petal ~rpc in
+  Petal.Client.open_vdisk pc id
+
+let add_server t ?config ?name () =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "frangipani%d" (List.length t.frangipani)
+  in
+  let host, rpc = fresh_client t name in
+  let vd = open_vdisk t ~rpc t.vdisk_id in
+  let fs =
+    Frangipani.Fs.mount ~host ~rpc ~vd ~lock_servers:t.lock_addrs ?config ()
+  in
+  t.frangipani <- t.frangipani @ [ fs ];
+  t.addrs <- (fs, Rpc.addr rpc) :: t.addrs;
+  t.rpcs <- (fs, rpc) :: t.rpcs;
+  fs
+
+let addr_of t fs = List.assq fs t.addrs
+let rpc_of t fs = List.assq fs t.rpcs

@@ -1,0 +1,52 @@
+(** Whole-cluster assembly: Petal servers (with lock servers
+    co-located on the same machines, as in the paper's Figure 2), a
+    formatted virtual disk, and helpers to add Frangipani server
+    machines. Used by the tests, the examples and the benchmark
+    harness. *)
+
+type t = {
+  net : Cluster.Net.t;
+  petal : Petal.Testbed.t;
+  lock_servers : Locksvc.Server.t array;
+  lock_addrs : Cluster.Net.addr array;
+  vdisk_id : int;
+  mutable frangipani : Frangipani.Fs.t list;
+  mutable addrs : (Frangipani.Fs.t * Cluster.Net.addr) list;
+  mutable rpcs : (Frangipani.Fs.t * Cluster.Rpc.t) list;
+}
+
+val build :
+  ?petal_servers:int ->
+  ?ndisks:int ->
+  ?nvram:bool ->
+  ?nrep:int ->
+  ?disk_capacity:int ->
+  ?ngroups:int ->
+  unit ->
+  t
+(** Defaults: 7 Petal servers × 9 disks (the paper's testbed), no
+    NVRAM, 2-way replicated virtual disk, 64 MB per simulated disk.
+    The virtual disk is created and formatted. *)
+
+val add_server :
+  t ->
+  ?config:Frangipani.Ctx.config ->
+  ?name:string ->
+  unit ->
+  Frangipani.Fs.t
+(** Add a Frangipani server machine (§7: it only needs the virtual
+    disk and the lock service) and mount the shared file system. *)
+
+val open_vdisk : t -> rpc:Cluster.Rpc.t -> int -> Petal.Client.vdisk
+
+val fresh_client : t -> string -> Cluster.Host.t * Cluster.Rpc.t
+(** A new machine attached to the cluster network (for backup
+    programs, snapshot mounts, etc.). *)
+
+val addr_of : t -> Frangipani.Fs.t -> Cluster.Net.addr
+(** Network address of a Frangipani server added with
+    {!add_server} — used to inject partitions. *)
+
+val rpc_of : t -> Frangipani.Fs.t -> Cluster.Rpc.t
+(** The server's own RPC endpoint — used to run co-located services
+    such as the §2.2 protocol export on the same machine. *)

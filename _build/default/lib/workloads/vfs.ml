@@ -1,0 +1,75 @@
+(** A file-system-neutral operations record, so every workload runs
+    unchanged against Frangipani and the AdvFS baseline (the paper's
+    Tables 1–3 compare exactly these two). *)
+
+type t = {
+  name : string;
+  host : Cluster.Host.t;
+  root : int;
+  create : dir:int -> string -> int;
+  mkdir : dir:int -> string -> int;
+  symlink : dir:int -> string -> target:string -> int;
+  lookup : dir:int -> string -> int;
+  readdir : int -> (string * int) list;
+  readlink : int -> string;
+  link : dir:int -> string -> inum:int -> unit;
+  unlink : dir:int -> string -> unit;
+  rmdir : dir:int -> string -> unit;
+  rename : sdir:int -> string -> ddir:int -> string -> unit;
+  read : int -> off:int -> len:int -> bytes;
+  write : int -> off:int -> bytes -> unit;
+  truncate : int -> size:int -> unit;
+  size : int -> int;
+  fsync : int -> unit;
+  sync : unit -> unit;
+  drop_caches : unit -> unit;
+}
+
+let of_frangipani (fs : Frangipani.Fs.t) =
+  let open Frangipani in
+  {
+    name = "frangipani";
+    host = Fs.host fs;
+    root = Fs.root;
+    create = (fun ~dir name -> Fs.create fs ~dir name);
+    mkdir = (fun ~dir name -> Fs.mkdir fs ~dir name);
+    symlink = (fun ~dir name ~target -> Fs.symlink fs ~dir name ~target);
+    lookup = (fun ~dir name -> Fs.lookup fs ~dir name);
+    readdir = (fun d -> Fs.readdir fs d);
+    readlink = (fun i -> Fs.readlink fs i);
+    link = (fun ~dir name ~inum -> Fs.link fs ~dir name ~inum);
+    unlink = (fun ~dir name -> Fs.unlink fs ~dir name);
+    rmdir = (fun ~dir name -> Fs.rmdir fs ~dir name);
+    rename = (fun ~sdir sname ~ddir dname -> Fs.rename fs ~sdir sname ~ddir dname);
+    read = (fun i ~off ~len -> Fs.read fs i ~off ~len);
+    write = (fun i ~off data -> Fs.write fs i ~off data);
+    truncate = (fun i ~size -> Fs.truncate fs i ~size);
+    size = (fun i -> (Fs.stat fs i).Fs.size);
+    fsync = (fun i -> Fs.fsync fs i);
+    sync = (fun () -> Fs.sync fs);
+    drop_caches = (fun () -> Fs.drop_caches fs);
+  }
+
+let of_advfs (fs : Advfs.t) =
+  {
+    name = "advfs";
+    host = Advfs.host fs;
+    root = Advfs.root;
+    create = (fun ~dir name -> Advfs.create_file fs ~dir name);
+    mkdir = (fun ~dir name -> Advfs.mkdir fs ~dir name);
+    symlink = (fun ~dir name ~target -> Advfs.symlink fs ~dir name ~target);
+    lookup = (fun ~dir name -> Advfs.lookup fs ~dir name);
+    readdir = (fun d -> Advfs.readdir fs d);
+    readlink = (fun i -> Advfs.readlink fs i);
+    link = (fun ~dir name ~inum -> Advfs.link fs ~dir name ~inum);
+    unlink = (fun ~dir name -> Advfs.unlink fs ~dir name);
+    rmdir = (fun ~dir name -> Advfs.rmdir fs ~dir name);
+    rename = (fun ~sdir sname ~ddir dname -> Advfs.rename fs ~sdir sname ~ddir dname);
+    read = (fun i ~off ~len -> Advfs.read fs i ~off ~len);
+    write = (fun i ~off data -> Advfs.write fs i ~off data);
+    truncate = (fun i ~size -> Advfs.truncate fs i ~size);
+    size = (fun i -> Advfs.size fs i);
+    fsync = (fun i -> Advfs.fsync fs i);
+    sync = (fun () -> Advfs.sync fs);
+    drop_caches = (fun () -> Advfs.drop_caches fs);
+  }

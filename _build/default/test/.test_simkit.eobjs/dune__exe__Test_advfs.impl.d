@@ -1,0 +1,1 @@
+test/test_advfs.ml: Advfs Alcotest Bytes Char Cluster Frangipani Host Printf Sim Simkit

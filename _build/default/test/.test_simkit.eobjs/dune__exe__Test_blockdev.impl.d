@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Blockdev Bytes Char Disk Gen Hashtbl List Nvram Printf QCheck QCheck_alcotest Sim Simkit Storage String

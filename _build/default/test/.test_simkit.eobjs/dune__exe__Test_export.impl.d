@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Bytes Errors Export Frangipani Fs List Sim Simkit Workloads

@@ -1,0 +1,1 @@
+test/test_frangipani.ml: Alcotest Array Backup Bytes Char Cluster Errors Frangipani Fs Fun List Path Petal Printf Sim Simkit Stdext String Workloads

@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Bytes Frangipani Fs Fsck List Path Printf Sim Simkit Workloads

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Bytes Frangipani Layout List Lockns Ondisk QCheck QCheck_alcotest String

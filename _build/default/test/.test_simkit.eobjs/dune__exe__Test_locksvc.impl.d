@@ -1,0 +1,1 @@
+test/test_locksvc.ml: Alcotest Array Clerk Cluster Format Host List Locksvc Net Paxos_group Printf QCheck QCheck_alcotest Rpc Server Sim Simkit Types

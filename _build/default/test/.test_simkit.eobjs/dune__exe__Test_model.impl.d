@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Buffer Bytes Char Errors Frangipani Fs Fsck Hashtbl List Option Printf QCheck QCheck_alcotest Result Sim Simkit Workloads

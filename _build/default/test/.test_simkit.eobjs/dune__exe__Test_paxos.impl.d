@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Array Cluster Host List Net Paxos Printf QCheck QCheck_alcotest Rpc Sim Simkit

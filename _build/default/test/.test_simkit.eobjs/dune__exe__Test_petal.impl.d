@@ -1,0 +1,1 @@
+test/test_petal.ml: Alcotest Array Blockdev Bytes Char Cluster Gen Host List Net Petal Printf QCheck QCheck_alcotest Rpc Sim Simkit String

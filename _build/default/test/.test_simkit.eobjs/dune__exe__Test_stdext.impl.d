@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Bytes Char Codec Crc32 Gen List QCheck QCheck_alcotest Stdext

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bytes Cluster Ctx Errors Frangipani Fs Fsck List Locksvc Path Petal Printf Sim Simkit String Workloads

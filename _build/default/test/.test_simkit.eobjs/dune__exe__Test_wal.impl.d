@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes Cluster Errors Frangipani Gen Layout List Petal Printf QCheck QCheck_alcotest Sim Simkit Wal

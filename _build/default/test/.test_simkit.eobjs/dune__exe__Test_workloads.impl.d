@@ -1,0 +1,1 @@
+test/test_workloads.ml: Advfs Alcotest Cluster List Printf Sim Simkit Workloads

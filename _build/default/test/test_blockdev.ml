@@ -1,0 +1,188 @@
+open Simkit
+open Blockdev
+
+let mkdisk () = Disk.create ~capacity:(16 * 1024 * 1024) "d0"
+
+let test_read_back () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      let data = Bytes.make 4096 'x' in
+      Disk.write d ~off:8192 data;
+      let got = Disk.read d ~off:8192 ~len:4096 in
+      Alcotest.(check string) "read back" (Bytes.to_string data) (Bytes.to_string got))
+
+let test_unwritten_zero () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      let got = Disk.read d ~off:0 ~len:512 in
+      Alcotest.(check string) "zeros" (String.make 512 '\000') (Bytes.to_string got))
+
+let test_cross_slab () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      (* 128 KB spanning two 64 KB slabs, offset so it straddles. *)
+      let data = Bytes.init 131072 (fun i -> Char.chr (i mod 251)) in
+      Disk.write d ~off:(32 * 1024) data;
+      let got = Disk.read d ~off:(32 * 1024) ~len:131072 in
+      Alcotest.(check bool) "cross-slab equal" true (Bytes.equal data got))
+
+let test_alignment_rejected () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      (try
+         ignore (Disk.read d ~off:10 ~len:512);
+         Alcotest.fail "expected Invalid_argument"
+       with Invalid_argument _ -> ());
+      try
+        Disk.write d ~off:0 (Bytes.create 100);
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+
+let test_timing_model () =
+  let elapsed, elapsed_seq =
+    Sim.run (fun () ->
+        let d = mkdisk () in
+        let t0 = Sim.now () in
+        ignore (Disk.read d ~off:(8 * 1024 * 1024) ~len:65536);
+        let t1 = Sim.now () in
+        ignore (Disk.read d ~off:(8 * 1024 * 1024 + 65536) ~len:65536);
+        let t2 = Sim.now () in
+        (t1 - t0, t2 - t1))
+  in
+  (* Random access pays a seek; sequential does not. *)
+  Alcotest.(check bool) "random slower than sequential" true (elapsed > elapsed_seq);
+  (* 64 KB at 6 MB/s is ~10.9 ms of transfer alone. *)
+  Alcotest.(check bool) "sequential >= transfer time" true (elapsed_seq >= Sim.ms 10)
+
+let test_fail_and_heal () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      Disk.fail d;
+      (try
+         ignore (Disk.read d ~off:0 ~len:512);
+         Alcotest.fail "expected Failed"
+       with Disk.Failed _ -> ());
+      Disk.heal d;
+      ignore (Disk.read d ~off:0 ~len:512))
+
+let test_damaged_sector () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      Disk.write d ~off:0 (Bytes.make 1024 'a');
+      Disk.damage_sector d 1;
+      (try
+         ignore (Disk.read d ~off:0 ~len:1024);
+         Alcotest.fail "expected Bad_sector"
+       with Disk.Bad_sector 1 -> ());
+      (* Sector 0 alone is still readable. *)
+      ignore (Disk.read d ~off:0 ~len:512);
+      (* Overwriting the damaged sector repairs it. *)
+      Disk.write d ~off:512 (Bytes.make 512 'b');
+      ignore (Disk.read d ~off:0 ~len:1024))
+
+let test_nvram_write_fast_read_back () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      let s = Nvram.wrap d in
+      let t0 = Sim.now () in
+      s.Storage.write ~off:4096 (Bytes.make 512 'z');
+      let dt = Sim.now () - t0 in
+      Alcotest.(check bool) "NVRAM write well under 1ms" true (dt < Sim.ms 1);
+      let got = s.Storage.read ~off:4096 ~len:512 in
+      Alcotest.(check string) "read back from NVRAM" (String.make 512 'z')
+        (Bytes.to_string got))
+
+let test_nvram_flush_reaches_disk () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      let s = Nvram.wrap d in
+      s.Storage.write ~off:0 (Bytes.make 512 'q');
+      s.Storage.flush ();
+      let got = Disk.read d ~off:0 ~len:512 in
+      Alcotest.(check string) "destaged" (String.make 512 'q') (Bytes.to_string got))
+
+let test_nvram_overwrite_coalesces () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      let s = Nvram.wrap d in
+      for i = 0 to 9 do
+        s.Storage.write ~off:0 (Bytes.make 512 (Char.chr (Char.code '0' + i)))
+      done;
+      s.Storage.flush ();
+      let got = Disk.read d ~off:0 ~len:512 in
+      Alcotest.(check string) "last write wins" (String.make 512 '9')
+        (Bytes.to_string got))
+
+let test_nvram_capacity_blocks () =
+  Sim.run (fun () ->
+      let d = mkdisk () in
+      let s = Nvram.wrap ~capacity:(128 * 1024) d in
+      (* Write 1 MB through a 128 KB NVRAM: must block on destage yet
+         complete, and everything must land on disk. *)
+      let block = Bytes.make 65536 'm' in
+      for i = 0 to 15 do
+        s.Storage.write ~off:(i * 65536) block
+      done;
+      s.Storage.flush ();
+      for i = 0 to 15 do
+        let got = Disk.read d ~off:(i * 65536) ~len:65536 in
+        Alcotest.(check bool) (Printf.sprintf "block %d" i) true (Bytes.equal block got)
+      done)
+
+let prop_disk_roundtrip =
+  QCheck.Test.make ~name:"disk write/read round-trips at random offsets" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 10) (pair (int_range 0 1000) (int_range 1 8)))
+    (fun writes ->
+      Sim.run (fun () ->
+          let d = mkdisk () in
+          let model = Hashtbl.create 16 in
+          List.iter
+            (fun (sector, nsect) ->
+              let off = sector * 512 and len = nsect * 512 in
+              let data =
+                Bytes.init len (fun i -> Char.chr ((sector + i) mod 256))
+              in
+              Disk.write d ~off data;
+              (* Update a byte-level model. *)
+              for i = 0 to len - 1 do
+                Hashtbl.replace model (off + i) (Bytes.get data i)
+              done)
+            writes;
+          List.for_all
+            (fun (sector, nsect) ->
+              let off = sector * 512 and len = nsect * 512 in
+              let got = Disk.read d ~off ~len in
+              let ok = ref true in
+              for i = 0 to len - 1 do
+                let expect =
+                  match Hashtbl.find_opt model (off + i) with
+                  | Some c -> c
+                  | None -> '\000'
+                in
+                if Bytes.get got i <> expect then ok := false
+              done;
+              !ok)
+            writes))
+
+let () =
+  Alcotest.run "blockdev"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "read back" `Quick test_read_back;
+          Alcotest.test_case "unwritten reads zero" `Quick test_unwritten_zero;
+          Alcotest.test_case "cross-slab I/O" `Quick test_cross_slab;
+          Alcotest.test_case "alignment rejected" `Quick test_alignment_rejected;
+          Alcotest.test_case "timing model" `Quick test_timing_model;
+          Alcotest.test_case "fail and heal" `Quick test_fail_and_heal;
+          Alcotest.test_case "damaged sector" `Quick test_damaged_sector;
+          QCheck_alcotest.to_alcotest prop_disk_roundtrip;
+        ] );
+      ( "nvram",
+        [
+          Alcotest.test_case "fast write, read back" `Quick test_nvram_write_fast_read_back;
+          Alcotest.test_case "flush reaches disk" `Quick test_nvram_flush_reaches_disk;
+          Alcotest.test_case "overwrite coalesces" `Quick test_nvram_overwrite_coalesces;
+          Alcotest.test_case "capacity blocks writers" `Quick test_nvram_capacity_blocks;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+open Simkit
+open Cluster
+
+type Net.payload += Ping of int | Pong of int | Note of string
+
+let mkpair () =
+  let net = Net.create () in
+  let ha = Host.create "a" and hb = Host.create "b" in
+  let pa = Net.attach net ha and pb = Net.attach net hb in
+  (net, ha, hb, pa, pb)
+
+let test_send_recv () =
+  Sim.run (fun () ->
+      let _, _, _, pa, pb = mkpair () in
+      Net.send pa ~dst:(Net.addr pb) ~size:100 (Ping 7);
+      let src, m = Net.recv pb in
+      Alcotest.(check int) "src" (Net.addr pa) src;
+      match m with
+      | Ping 7 -> ()
+      | _ -> Alcotest.fail "wrong payload")
+
+let test_link_occupancy () =
+  (* Two 1 MB messages on a 155 Mbit/s link: the second waits for the
+     first, so total delivery time is >= 2 * 1MB*8/155e6 s ~ 103 ms. *)
+  let t =
+    Sim.run (fun () ->
+        let _, _, _, pa, pb = mkpair () in
+        let mb = 1_000_000 in
+        Net.send pa ~dst:(Net.addr pb) ~size:mb (Ping 1);
+        Net.send pa ~dst:(Net.addr pb) ~size:mb (Ping 2);
+        ignore (Net.recv pb);
+        ignore (Net.recv pb);
+        Sim.now ())
+  in
+  Alcotest.(check bool) "serialised on tx link" true (t >= Sim.ms 103)
+
+let test_crash_drops () =
+  Sim.run (fun () ->
+      let _, _, hb, pa, pb = mkpair () in
+      Host.crash hb;
+      Net.send pa ~dst:(Net.addr pb) ~size:10 (Ping 1);
+      Sim.sleep (Sim.sec 1.0);
+      (* A receiver spawned after restart must see nothing. *)
+      Host.restart hb;
+      let got = ref false in
+      Sim.spawn (fun () ->
+          ignore (Net.recv pb);
+          got := true);
+      Sim.sleep (Sim.sec 1.0);
+      Alcotest.(check bool) "dropped while crashed" false !got)
+
+let test_partition () =
+  Sim.run (fun () ->
+      let net, _, _, pa, pb = mkpair () in
+      Net.set_reachable net (fun _ _ -> false);
+      Net.send pa ~dst:(Net.addr pb) ~size:10 (Ping 1);
+      Sim.sleep (Sim.sec 0.5);
+      Net.clear_partition net;
+      Net.send pa ~dst:(Net.addr pb) ~size:10 (Ping 2);
+      let _, m = Net.recv pb in
+      match m with
+      | Ping 2 -> ()
+      | _ -> Alcotest.fail "partitioned message should have been dropped")
+
+let test_rpc_roundtrip () =
+  Sim.run (fun () ->
+      let _, _, _, pa, pb = mkpair () in
+      let ca = Rpc.create pa and cb = Rpc.create pb in
+      Rpc.add_handler cb (fun ~src:_ body ->
+          match body with
+          | Ping n -> Some (Pong (n * 2), 8)
+          | _ -> None);
+      match Rpc.call ca ~dst:(Rpc.addr cb) ~size:8 (Ping 21) with
+      | Ok (Pong 42) -> ()
+      | Ok _ -> Alcotest.fail "wrong reply"
+      | Error `Timeout -> Alcotest.fail "unexpected timeout")
+
+let test_rpc_timeout_on_crash () =
+  Sim.run (fun () ->
+      let _, _, hb, pa, pb = mkpair () in
+      let ca = Rpc.create pa in
+      let cb = Rpc.create pb in
+      Rpc.add_handler cb (fun ~src:_ _ -> Some (Pong 0, 8));
+      Host.crash hb;
+      let t0 = Sim.now () in
+      (match Rpc.call ca ~dst:(Rpc.addr cb) ~timeout:(Sim.ms 200) ~size:8 (Ping 1) with
+      | Error `Timeout -> ()
+      | Ok _ -> Alcotest.fail "expected timeout");
+      Alcotest.(check bool) "timed out at deadline" true (Sim.now () - t0 >= Sim.ms 200))
+
+let test_rpc_concurrent_handlers () =
+  (* A slow handler must not block a fast one. *)
+  Sim.run (fun () ->
+      let _, _, _, pa, pb = mkpair () in
+      let ca = Rpc.create pa and cb = Rpc.create pb in
+      Rpc.add_handler cb (fun ~src:_ body ->
+          match body with
+          | Ping 1 ->
+            Sim.sleep (Sim.ms 100);
+            Some (Pong 1, 8)
+          | Ping 2 -> Some (Pong 2, 8)
+          | _ -> None);
+      let done2 = Sim.Ivar.create () in
+      Sim.spawn (fun () ->
+          match Rpc.call ca ~dst:(Rpc.addr cb) ~size:8 (Ping 2) with
+          | Ok (Pong 2) -> Sim.Ivar.fill done2 (Sim.now ())
+          | _ -> Alcotest.fail "fast call failed");
+      let t0 = Sim.now () in
+      (match Rpc.call ca ~dst:(Rpc.addr cb) ~size:8 (Ping 1) with
+      | Ok (Pong 1) -> ()
+      | _ -> Alcotest.fail "slow call failed");
+      let t_fast = Sim.Ivar.read done2 in
+      Alcotest.(check bool) "fast finished before slow" true (t_fast - t0 < Sim.ms 100))
+
+let test_oneway_subscribe () =
+  Sim.run (fun () ->
+      let _, _, _, pa, pb = mkpair () in
+      let _ca = Rpc.create pa and cb = Rpc.create pb in
+      let got = ref [] in
+      Rpc.on_oneway cb (fun ~src:_ body ->
+          match body with
+          | Note s -> got := s :: !got
+          | _ -> ());
+      Rpc.oneway (Rpc.create pa) ~dst:(Rpc.addr cb) ~size:10 (Note "hb");
+      Sim.sleep (Sim.ms 10);
+      Alcotest.(check (list string)) "received" [ "hb" ] !got)
+
+let test_host_incarnation_guard () =
+  Sim.run (fun () ->
+      let h = Host.create "x" in
+      let inc = Host.incarnation h in
+      Alcotest.(check bool) "guard alive" true (Host.guard h inc);
+      Host.crash h;
+      Alcotest.(check bool) "guard crashed" false (Host.guard h inc);
+      Host.restart h;
+      Alcotest.(check bool) "guard stale" false (Host.guard h inc);
+      Alcotest.(check bool) "guard new inc" true (Host.guard h (Host.incarnation h)))
+
+let test_crash_hooks_run () =
+  Sim.run (fun () ->
+      let h = Host.create "x" in
+      let ran = ref 0 in
+      Host.on_crash h (fun () -> incr ran);
+      Host.on_crash h (fun () -> incr ran);
+      Host.crash h;
+      Host.crash h;
+      Alcotest.(check int) "hooks run once" 2 !ran)
+
+let test_cpu_utilization () =
+  let u =
+    Sim.run (fun () ->
+        let h = Host.create "x" in
+        Host.consume h (Sim.ms 25);
+        Sim.sleep (Sim.ms 75);
+        Sim.Resource.utilization (Host.cpu h))
+  in
+  Alcotest.(check (float 0.01)) "25%" 0.25 u
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "send/recv" `Quick test_send_recv;
+          Alcotest.test_case "link occupancy" `Quick test_link_occupancy;
+          Alcotest.test_case "crash drops" `Quick test_crash_drops;
+          Alcotest.test_case "partition" `Quick test_partition;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "timeout on crash" `Quick test_rpc_timeout_on_crash;
+          Alcotest.test_case "concurrent handlers" `Quick test_rpc_concurrent_handlers;
+          Alcotest.test_case "oneway subscribe" `Quick test_oneway_subscribe;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "incarnation guard" `Quick test_host_incarnation_guard;
+          Alcotest.test_case "crash hooks" `Quick test_crash_hooks_run;
+          Alcotest.test_case "cpu utilization" `Quick test_cpu_utilization;
+        ] );
+    ]

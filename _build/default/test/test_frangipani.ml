@@ -1,0 +1,453 @@
+open Simkit
+open Frangipani
+module T = Workloads.Testbed
+
+let small () = T.build ~petal_servers:3 ~ndisks:2 ~ngroups:16 ()
+
+let setup ?config ?(nservers = 1) () =
+  let t = small () in
+  let servers = List.init nservers (fun _ -> T.add_server t ?config ()) in
+  (t, servers)
+
+let one () =
+  let t, servers = setup () in
+  (t, List.hd servers)
+
+let check_err e f =
+  match f () with
+  | _ -> Alcotest.fail ("expected " ^ Errors.to_string e)
+  | exception Errors.Error e' ->
+    Alcotest.(check string) "errno" (Errors.to_string e) (Errors.to_string e')
+
+let bytes_pat n seed = Bytes.init n (fun i -> Char.chr ((i * 7 + seed) mod 256))
+
+(* --- basic operations ---------------------------------------------------- *)
+
+let test_create_write_read () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "hello" in
+      let data = Bytes.of_string "hello, frangipani" in
+      Fs.write fs f ~off:0 data;
+      let got = Fs.read fs f ~off:0 ~len:100 in
+      Alcotest.(check string) "roundtrip" (Bytes.to_string data) (Bytes.to_string got);
+      let st = Fs.stat fs f in
+      Alcotest.(check int) "size" (Bytes.length data) st.Fs.size;
+      Alcotest.(check int) "nlink" 1 st.Fs.nlink)
+
+let test_directories () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let d = Fs.mkdir fs ~dir:Fs.root "dir" in
+      let sub = Fs.mkdir fs ~dir:d "sub" in
+      let f = Fs.create fs ~dir:d "file" in
+      ignore sub;
+      Alcotest.(check int) "lookup" f (Fs.lookup fs ~dir:d "file");
+      let names = List.map fst (Fs.readdir fs d) |> List.sort compare in
+      Alcotest.(check (list string)) "readdir" [ "file"; "sub" ] names;
+      Alcotest.(check int) "root nlink" 3 (Fs.stat fs Fs.root).Fs.nlink;
+      Alcotest.(check int) "dir nlink" 3 (Fs.stat fs d).Fs.nlink;
+      check_err Errors.Eexist (fun () -> Fs.mkdir fs ~dir:d "sub");
+      check_err Errors.Enoent (fun () -> Fs.lookup fs ~dir:d "absent");
+      check_err Errors.Enotempty (fun () -> Fs.rmdir fs ~dir:Fs.root "dir");
+      check_err Errors.Eisdir (fun () -> Fs.unlink fs ~dir:d "sub");
+      check_err Errors.Enotdir (fun () -> Fs.rmdir fs ~dir:d "file");
+      Fs.unlink fs ~dir:d "file";
+      Fs.rmdir fs ~dir:d "sub";
+      Fs.rmdir fs ~dir:Fs.root "dir";
+      Alcotest.(check (list string)) "root empty" []
+        (List.map fst (Fs.readdir fs Fs.root));
+      Alcotest.(check int) "root nlink back" 2 (Fs.stat fs Fs.root).Fs.nlink)
+
+let test_many_entries_extend_dir () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let d = Fs.mkdir fs ~dir:Fs.root "big" in
+      (* More entries than fit in one block (56 slots). *)
+      for i = 0 to 199 do
+        ignore (Fs.create fs ~dir:d (Printf.sprintf "f%03d" i))
+      done;
+      Alcotest.(check int) "200 entries" 200 (List.length (Fs.readdir fs d));
+      for i = 0 to 199 do
+        ignore (Fs.lookup fs ~dir:d (Printf.sprintf "f%03d" i))
+      done;
+      (* Remove odd ones; slots are reused. *)
+      for i = 0 to 199 do
+        if i mod 2 = 1 then Fs.unlink fs ~dir:d (Printf.sprintf "f%03d" i)
+      done;
+      Alcotest.(check int) "100 left" 100 (List.length (Fs.readdir fs d));
+      for i = 0 to 99 do
+        ignore (Fs.create fs ~dir:d (Printf.sprintf "g%03d" i))
+      done;
+      Alcotest.(check int) "200 again" 200 (List.length (Fs.readdir fs d)))
+
+let test_symlink () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let _ = Fs.mkdir fs ~dir:Fs.root "a" in
+      let f = Path.write_file fs "/a/data" (Bytes.of_string "via symlink") in
+      ignore f;
+      ignore (Fs.symlink fs ~dir:Fs.root "lnk" ~target:"/a/data");
+      ignore (Path.symlink fs "/a/rel" ~target:"data");
+      Alcotest.(check string) "abs link" "via symlink"
+        (Bytes.to_string (Path.read_file fs "/lnk"));
+      Alcotest.(check string) "rel link" "via symlink"
+        (Bytes.to_string (Path.read_file fs "/a/rel"));
+      Alcotest.(check string) "readlink" "/a/data"
+        (Fs.readlink fs (Path.resolve ~follow:false fs "/lnk")))
+
+let test_hard_link () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Path.write_file fs "/orig" (Bytes.of_string "shared") in
+      Fs.link fs ~dir:Fs.root "alias" ~inum:f;
+      Alcotest.(check int) "nlink 2" 2 (Fs.stat fs f).Fs.nlink;
+      Fs.unlink fs ~dir:Fs.root "orig";
+      Alcotest.(check string) "alias still readable" "shared"
+        (Bytes.to_string (Path.read_file fs "/alias"));
+      Alcotest.(check int) "nlink 1" 1 (Fs.stat fs f).Fs.nlink;
+      Fs.unlink fs ~dir:Fs.root "alias";
+      check_err Errors.Estale (fun () -> Fs.stat fs f))
+
+let test_rename () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      ignore (Fs.mkdir fs ~dir:Fs.root "a");
+      ignore (Fs.mkdir fs ~dir:Fs.root "b");
+      ignore (Path.write_file fs "/a/x" (Bytes.of_string "one"));
+      (* Same-directory rename. *)
+      Path.rename fs "/a/x" "/a/y";
+      Alcotest.(check bool) "x gone" false (Path.exists fs "/a/x");
+      Alcotest.(check string) "y has data" "one"
+        (Bytes.to_string (Path.read_file fs "/a/y"));
+      (* Cross-directory rename. *)
+      Path.rename fs "/a/y" "/b/z";
+      Alcotest.(check string) "moved" "one" (Bytes.to_string (Path.read_file fs "/b/z"));
+      (* Overwriting rename. *)
+      ignore (Path.write_file fs "/b/w" (Bytes.of_string "two"));
+      Path.rename fs "/b/w" "/b/z";
+      Alcotest.(check string) "overwritten" "two"
+        (Bytes.to_string (Path.read_file fs "/b/z"));
+      (* Directory move updates parent link counts. *)
+      ignore (Fs.mkdir fs ~dir:(Path.resolve fs "/a") "d");
+      let a_nlink = (Path.stat fs "/a").Fs.nlink in
+      Path.rename fs "/a/d" "/b/d";
+      Alcotest.(check int) "src parent nlink" (a_nlink - 1) (Path.stat fs "/a").Fs.nlink;
+      (* Cycle prevention at the path layer. *)
+      check_err Errors.Einval (fun () -> Path.rename fs "/b" "/b/d/inside"))
+
+let test_large_file () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "big" in
+      (* 200 KB: 64 KB in small blocks + 136 KB in the large block. *)
+      let data = bytes_pat 204800 3 in
+      Fs.write fs f ~off:0 data;
+      let got = Fs.read fs f ~off:0 ~len:204800 in
+      Alcotest.(check bool) "content" true (Bytes.equal data got);
+      (* Unaligned read crossing the small/large boundary. *)
+      let mid = Fs.read fs f ~off:65000 ~len:2000 in
+      Alcotest.(check bool) "boundary read" true
+        (Bytes.equal mid (Bytes.sub data 65000 2000));
+      (* Unaligned overwrite. *)
+      Fs.write fs f ~off:65123 (Bytes.make 777 'Z');
+      let z = Fs.read fs f ~off:65123 ~len:777 in
+      Alcotest.(check string) "overwrite" (String.make 777 'Z') (Bytes.to_string z))
+
+let test_sparse_and_truncate () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "sparse" in
+      Fs.write fs f ~off:10000 (Bytes.of_string "end");
+      Alcotest.(check int) "size" 10003 (Fs.stat fs f).Fs.size;
+      let hole = Fs.read fs f ~off:0 ~len:100 in
+      Alcotest.(check string) "hole zeros" (String.make 100 '\000')
+        (Bytes.to_string hole);
+      Fs.truncate fs f ~size:5;
+      Alcotest.(check int) "truncated" 5 (Fs.stat fs f).Fs.size;
+      Fs.write fs f ~off:0 (Bytes.of_string "abcde");
+      Fs.truncate fs f ~size:3;
+      (* Extending again must read zeros past the old tail. *)
+      Fs.truncate fs f ~size:5;
+      Alcotest.(check string) "zeros after shrink-grow" "abc\000\000"
+        (Bytes.to_string (Fs.read fs f ~off:0 ~len:5)))
+
+let test_path_helpers () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      ignore (Path.mkdir_p fs "/x/y/z");
+      ignore (Path.write_file fs "/x/y/z/f" (Bytes.of_string "deep"));
+      Alcotest.(check string) "deep file" "deep"
+        (Bytes.to_string (Path.read_file fs "/x/y/z/f"));
+      Alcotest.(check bool) "exists" true (Path.exists fs "/x/y");
+      Alcotest.(check bool) "not exists" false (Path.exists fs "/x/q");
+      ignore (Path.resolve fs "/x/y/../y/./z"))
+
+(* --- multi-server coherence ----------------------------------------------- *)
+
+let test_coherence_two_servers () =
+  Sim.run (fun () ->
+      let _, servers = setup ~nservers:2 () in
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      let f = Fs.create a ~dir:Fs.root "shared" in
+      Fs.write a f ~off:0 (Bytes.of_string "from A");
+      (* B sees it immediately, through lock-mediated coherence. *)
+      let f_b = Fs.lookup b ~dir:Fs.root "shared" in
+      Alcotest.(check int) "same inum" f f_b;
+      Alcotest.(check string) "B reads A's write" "from A"
+        (Bytes.to_string (Fs.read b f_b ~off:0 ~len:10));
+      (* And back: B overwrites, A observes. *)
+      Fs.write b f_b ~off:0 (Bytes.of_string "from B");
+      Alcotest.(check string) "A reads B's write" "from B"
+        (Bytes.to_string (Fs.read a f ~off:0 ~len:10)))
+
+let test_concurrent_creates_distinct_servers () =
+  Sim.run (fun () ->
+      let _, servers = setup ~nservers:3 () in
+      let pending = ref (3 * 10) in
+      let done_ = Sim.Ivar.create () in
+      List.iteri
+        (fun si fs ->
+          for k = 0 to 9 do
+            Sim.spawn (fun () ->
+                let name = Printf.sprintf "s%d-f%d" si k in
+                ignore (Fs.create fs ~dir:Fs.root name);
+                Fs.write fs (Fs.lookup fs ~dir:Fs.root name) ~off:0
+                  (Bytes.of_string name);
+                decr pending;
+                if !pending = 0 then Sim.Ivar.fill done_ ())
+          done)
+        servers;
+      Sim.Ivar.read done_;
+      let fs = List.hd servers in
+      let entries = Fs.readdir fs Fs.root in
+      Alcotest.(check int) "30 files" 30 (List.length entries);
+      List.iter
+        (fun (name, inum) ->
+          Alcotest.(check string) ("content " ^ name) name
+            (Bytes.to_string (Fs.read fs inum ~off:0 ~len:100)))
+        entries)
+
+let test_write_write_coherence () =
+  Sim.run (fun () ->
+      let _, servers = setup ~nservers:2 () in
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      let f = Fs.create a ~dir:Fs.root "counter" in
+      (* Interleaved read-modify-write from two servers; the whole-file
+         lock makes each step atomic. *)
+      for i = 1 to 10 do
+        let fs = if i mod 2 = 0 then a else b in
+        let cur = Fs.read fs f ~off:0 ~len:8 in
+        let v = if Bytes.length cur < 8 then 0 else Stdext.Codec.get_int cur 0 in
+        let nb = Bytes.create 8 in
+        Stdext.Codec.put_int nb 0 (v + 1);
+        Fs.write fs f ~off:0 nb
+      done;
+      let final = Fs.read a f ~off:0 ~len:8 in
+      Alcotest.(check int) "10 increments" 10 (Stdext.Codec.get_int final 0))
+
+(* --- failure handling ------------------------------------------------------ *)
+
+let test_crash_recovery_preserves_synced_metadata () =
+  Sim.run (fun () ->
+      let t, servers = setup ~nservers:2 () in
+      ignore t;
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      let f = Fs.create a ~dir:Fs.root "precious" in
+      Fs.write a f ~off:0 (Bytes.of_string "must survive");
+      Fs.fsync a f;
+      (* More metadata ops that reach the log but not their home
+         locations. *)
+      ignore (Fs.create a ~dir:Fs.root "also-there");
+      ignore (Fs.mkdir a ~dir:Fs.root "dir1");
+      Fs.sync a;
+      Fs.crash a;
+      (* B's access to locks held by A blocks until A's lease expires
+         and recovery replays A's log. *)
+      let f_b = Fs.lookup b ~dir:Fs.root "precious" in
+      Alcotest.(check string) "file content" "must survive"
+        (Bytes.to_string (Fs.read b f_b ~off:0 ~len:100));
+      ignore (Fs.lookup b ~dir:Fs.root "also-there");
+      ignore (Fs.lookup b ~dir:Fs.root "dir1");
+      Alcotest.(check bool) "took at least a lease period" true
+        (Sim.now () > Sim.sec 30.0))
+
+let test_crash_loses_unsynced_data_but_stays_consistent () =
+  Sim.run (fun () ->
+      let _, servers = setup ~nservers:2 () in
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      ignore (Fs.create a ~dir:Fs.root "before");
+      Fs.sync a;
+      (* This one never reaches the log on Petal. *)
+      ignore (Fs.create a ~dir:Fs.root "volatile");
+      Fs.crash a;
+      Sim.sleep (Sim.sec 60.0);
+      let names = List.map fst (Fs.readdir b Fs.root) in
+      Alcotest.(check bool) "synced file survives" true (List.mem "before" names);
+      Alcotest.(check bool) "unsynced file lost" false (List.mem "volatile" names);
+      (* The directory is fully usable afterwards. *)
+      ignore (Fs.create b ~dir:Fs.root "after");
+      Alcotest.(check int) "consistent" 2 (List.length (Fs.readdir b Fs.root)))
+
+let test_restarted_server_rejoins () =
+  Sim.run (fun () ->
+      let t, servers = setup ~nservers:2 () in
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      ignore (Fs.create a ~dir:Fs.root "f1");
+      Fs.sync a;
+      Fs.crash a;
+      Sim.sleep (Sim.sec 60.0);
+      ignore (Fs.lookup b ~dir:Fs.root "f1");
+      (* A new server machine joins (the paper's restart-with-empty-log). *)
+      let c = T.add_server t () in
+      ignore (Fs.create c ~dir:Fs.root "f2");
+      Alcotest.(check int) "both files" 2 (List.length (Fs.readdir b Fs.root)))
+
+let test_log_wrap_consistency () =
+  Sim.run (fun () ->
+      let _, servers = setup ~nservers:2 () in
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      let d = Fs.mkdir a ~dir:Fs.root "churn" in
+      (* Thousands of metadata ops: the 128 KB log must wrap several
+         times, exercising reclaim. *)
+      for i = 0 to 999 do
+        let name = Printf.sprintf "t%d" i in
+        ignore (Fs.create a ~dir:d name);
+        if i mod 3 = 0 then Fs.unlink a ~dir:d name
+      done;
+      Fs.sync a;
+      Fs.crash a;
+      Sim.sleep (Sim.sec 60.0);
+      let survivors = Fs.readdir b d in
+      let expect = List.length (List.filter (fun i -> i mod 3 <> 0) (List.init 1000 Fun.id)) in
+      Alcotest.(check int) "all non-deleted files present" expect
+        (List.length survivors))
+
+let test_petal_server_failure_transparent () =
+  Sim.run (fun () ->
+      let t, servers = setup ~nservers:1 () in
+      let fs = List.hd servers in
+      let f = Fs.create fs ~dir:Fs.root "resilient" in
+      Fs.write fs f ~off:0 (bytes_pat 8192 5);
+      Fs.sync fs;
+      (* Crash one Petal machine: both a Petal replica and one lock
+         server die. The file system keeps working. *)
+      Cluster.Host.crash t.T.petal.Petal.Testbed.hosts.(1);
+      Sim.sleep (Sim.sec 15.0);
+      let got = Fs.read fs f ~off:0 ~len:8192 in
+      Alcotest.(check bool) "readable" true (Bytes.equal got (bytes_pat 8192 5));
+      Fs.write fs f ~off:0 (Bytes.of_string "still writable");
+      ignore (Fs.create fs ~dir:Fs.root "new-during-failure"))
+
+let test_clean_removal_no_lease_wait () =
+  (* §7: "Removing a Frangipani server is even easier... preferable
+     for the server to flush its dirty data and release its locks
+     before halting." After a clean unmount, another server proceeds
+     immediately — no 30 s lease expiry, no recovery. *)
+  Sim.run (fun () ->
+      let _, servers = setup ~nservers:2 () in
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      let f = Fs.create a ~dir:Fs.root "handoff" in
+      Fs.write a f ~off:0 (Bytes.of_string "flushed on unmount");
+      Fs.unmount a;
+      let t0 = Sim.now () in
+      let f_b = Fs.lookup b ~dir:Fs.root "handoff" in
+      Alcotest.(check string) "data flushed by unmount" "flushed on unmount"
+        (Bytes.to_string (Fs.read b f_b ~off:0 ~len:100));
+      Alcotest.(check bool) "no lease wait" true (Sim.now () - t0 < Sim.sec 5.0))
+
+(* --- backup (§8) ------------------------------------------------------------ *)
+
+let test_online_backup () =
+  Sim.run (fun () ->
+      let t, servers = setup ~nservers:2 () in
+      let a = List.hd servers in
+      ignore (Path.write_file a "/doc" (Bytes.of_string "version 1"));
+      (* Take a consistent online snapshot through the barrier. *)
+      let _, brpc = T.fresh_client t "backup" in
+      let backup = Backup.connect ~rpc:brpc ~lock_servers:t.T.lock_addrs ~table:"fs0" in
+      let vd_live = T.open_vdisk t ~rpc:brpc t.T.vdisk_id in
+      let snap_id = Backup.snapshot backup vd_live in
+      (* The live system keeps going. *)
+      ignore (Path.write_file a "/doc" (Bytes.of_string "version 2"));
+      ignore (Path.write_file a "/new" (Bytes.of_string "post-snap"));
+      (* Mount the snapshot read-only under its own lock table. *)
+      let mh, mrpc = T.fresh_client t "snapmount" in
+      ignore mh;
+      let vd_snap = T.open_vdisk t ~rpc:mrpc snap_id in
+      let snap_fs =
+        Fs.mount ~host:mh ~rpc:mrpc ~vd:vd_snap ~lock_servers:t.T.lock_addrs
+          ~table:"fs0@snap" ~readonly:true ()
+      in
+      Alcotest.(check string) "snapshot sees version 1" "version 1"
+        (Bytes.to_string (Path.read_file snap_fs "/doc"));
+      Alcotest.(check bool) "post-snap file absent in snapshot" false
+        (Path.exists snap_fs "/new");
+      check_err Errors.Erofs (fun () -> Path.write_file snap_fs "/x" Bytes.empty);
+      Alcotest.(check string) "live sees version 2" "version 2"
+        (Bytes.to_string (Path.read_file a "/doc")))
+
+(* --- lease expiry / partition ------------------------------------------------ *)
+
+let test_partitioned_server_poisons () =
+  Sim.run (fun () ->
+      let t, servers = setup ~nservers:2 () in
+      let a, b = (List.nth servers 0, List.nth servers 1) in
+      let f = Fs.create a ~dir:Fs.root "dirtyfile" in
+      Fs.write a f ~off:0 (Bytes.of_string "dirty");
+      Fs.sync a;
+      Fs.write a f ~off:0 (Bytes.of_string "DIRTY");
+      (* Cut only A off: it cannot renew and must expire itself. *)
+      let a_addr = T.addr_of t a in
+      Cluster.Net.set_reachable t.T.net (fun s d -> s <> a_addr && d <> a_addr);
+      Sim.sleep (Sim.sec 60.0);
+      (* A had dirty data when the lease lapsed: poisoned until
+         unmount (§6). *)
+      Alcotest.(check bool) "poisoned" true (Fs.is_poisoned a);
+      check_err Errors.Eio (fun () -> Fs.read a f ~off:0 ~len:5);
+      Cluster.Net.clear_partition t.T.net;
+      (* The lock service recovered A's log, so B reads the last
+         synced contents; the unflushed overwrite is lost. *)
+      let f_b = Fs.lookup b ~dir:Fs.root "dirtyfile" in
+      Alcotest.(check string) "synced data survives" "dirty"
+        (Bytes.to_string (Fs.read b f_b ~off:0 ~len:5)))
+
+let () =
+  Alcotest.run "frangipani"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "create/write/read" `Quick test_create_write_read;
+          Alcotest.test_case "directories" `Quick test_directories;
+          Alcotest.test_case "big directory" `Quick test_many_entries_extend_dir;
+          Alcotest.test_case "symlinks" `Quick test_symlink;
+          Alcotest.test_case "hard links" `Quick test_hard_link;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "large file" `Quick test_large_file;
+          Alcotest.test_case "sparse + truncate" `Quick test_sparse_and_truncate;
+          Alcotest.test_case "path helpers" `Quick test_path_helpers;
+        ] );
+      ( "coherence",
+        [
+          Alcotest.test_case "two servers" `Quick test_coherence_two_servers;
+          Alcotest.test_case "concurrent creates" `Quick
+            test_concurrent_creates_distinct_servers;
+          Alcotest.test_case "write/write" `Quick test_write_write_coherence;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "crash recovery (synced)" `Quick
+            test_crash_recovery_preserves_synced_metadata;
+          Alcotest.test_case "crash loses unsynced only" `Quick
+            test_crash_loses_unsynced_data_but_stays_consistent;
+          Alcotest.test_case "restarted server rejoins" `Quick
+            test_restarted_server_rejoins;
+          Alcotest.test_case "log wrap" `Quick test_log_wrap_consistency;
+          Alcotest.test_case "petal server failure" `Quick
+            test_petal_server_failure_transparent;
+          Alcotest.test_case "partition poisons" `Quick test_partitioned_server_poisons;
+          Alcotest.test_case "clean removal (unmount)" `Quick
+            test_clean_removal_no_lease_wait;
+        ] );
+      ("backup", [ Alcotest.test_case "online snapshot" `Quick test_online_backup ]);
+    ]

@@ -1,0 +1,84 @@
+open Simkit
+open Frangipani
+module T = Workloads.Testbed
+
+let setup () =
+  let t = T.build ~petal_servers:3 ~ndisks:2 ~ngroups:16 () in
+  (t, T.add_server t ())
+
+let mk_tree fs =
+  ignore (Path.mkdir_p fs "/a/b");
+  for i = 0 to 4 do
+    ignore (Path.write_file fs (Printf.sprintf "/a/b/f%d" i) (Bytes.make 5000 'x'))
+  done;
+  ignore (Path.symlink fs "/a/lnk" ~target:"b/f0");
+  let f = Path.resolve fs "/a/b/f1" in
+  Fs.link fs ~dir:(Path.resolve fs "/a") "hard" ~inum:f;
+  Fs.sync fs
+
+let test_clean_tree () =
+  Sim.run (fun () ->
+      let _, fs = setup () in
+      mk_tree fs;
+      Alcotest.(check int) "no findings" 0 (List.length (Fsck.check fs)))
+
+let test_clean_after_recovery () =
+  Sim.run (fun () ->
+      let t, fs = setup () in
+      mk_tree fs;
+      (* Crash mid-life; after recovery the tree must be fsck-clean. *)
+      ignore (Path.write_file fs "/a/b/extra" (Bytes.make 100 'y'));
+      Fs.sync fs;
+      Fs.crash fs;
+      let survivor = T.add_server t () in
+      Sim.sleep (Sim.sec 60.0);
+      ignore (Fs.readdir survivor Fs.root);
+      Alcotest.(check int) "clean after crash recovery" 0
+        (List.length (Fsck.check survivor)))
+
+let test_detects_orphan () =
+  Sim.run (fun () ->
+      let _, fs = setup () in
+      mk_tree fs;
+      let o = Fs.create fs ~dir:Fs.root "gone" in
+      Fs.write fs o ~off:0 (Bytes.make 4096 'z');
+      Fs.unlink_entry_only_for_test fs ~dir:Fs.root "gone";
+      let findings = Fsck.check fs in
+      let orphans =
+        List.filter (function Fsck.Orphan_inode _ -> true | _ -> false) findings
+      in
+      Alcotest.(check int) "one orphan" 1 (List.length orphans);
+      ignore (Fsck.repair fs findings);
+      Alcotest.(check int) "clean after repair" 0 (List.length (Fsck.check fs)))
+
+let test_detects_bad_nlink () =
+  Sim.run (fun () ->
+      let _, fs = setup () in
+      mk_tree fs;
+      Fs.corrupt_nlink_for_test fs (Path.resolve fs "/a/b/f2") 9;
+      let findings = Fsck.check fs in
+      (match findings with
+      | [ Fsck.Bad_nlink { stored = 9; actual = 1; _ } ] -> ()
+      | _ -> Alcotest.fail "expected exactly one Bad_nlink 9->1");
+      ignore (Fsck.repair fs findings);
+      Alcotest.(check int) "clean" 0 (List.length (Fsck.check fs)))
+
+let test_hard_link_counts () =
+  Sim.run (fun () ->
+      let _, fs = setup () in
+      mk_tree fs;
+      (* f1 has two links (hard); fsck must consider that correct. *)
+      Alcotest.(check int) "clean with hard links" 0 (List.length (Fsck.check fs)))
+
+let () =
+  Alcotest.run "fsck"
+    [
+      ( "fsck",
+        [
+          Alcotest.test_case "clean tree" `Quick test_clean_tree;
+          Alcotest.test_case "clean after recovery" `Quick test_clean_after_recovery;
+          Alcotest.test_case "detects orphan" `Quick test_detects_orphan;
+          Alcotest.test_case "detects bad nlink" `Quick test_detects_bad_nlink;
+          Alcotest.test_case "hard links counted" `Quick test_hard_link_counts;
+        ] );
+    ]

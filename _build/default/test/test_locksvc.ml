@@ -1,0 +1,289 @@
+open Simkit
+open Cluster
+open Locksvc
+
+let mode = Alcotest.testable (fun fmt (m : Types.mode) ->
+    Format.pp_print_string fmt (match m with Types.R -> "R" | Types.W -> "W"))
+    ( = )
+
+type bed = {
+  net : Net.t;
+  shosts : Host.t array;
+  lsrv : Server.t array;
+  saddrs : Net.addr array;
+}
+
+let mkservice ?(nservers = 3) ?(ngroups = 16) () =
+  let net = Net.create () in
+  let shosts = Array.init nservers (fun i -> Host.create (Printf.sprintf "ls%d" i)) in
+  let rpcs = Array.map (fun h -> Rpc.create (Net.attach net h)) shosts in
+  let saddrs = Array.map Rpc.addr rpcs in
+  let lsrv =
+    Array.init nservers (fun i ->
+        Server.create ~host:shosts.(i) ~rpc:rpcs.(i) ~peers:saddrs ~index:i ~ngroups
+          ~stable:(Paxos_group.stable ()) ())
+  in
+  { net; shosts; lsrv; saddrs }
+
+let mkclerk bed name =
+  let h = Host.create name in
+  let rpc = Rpc.create (Net.attach bed.net h) in
+  let c = Clerk.create ~rpc ~servers:bed.saddrs ~table:"fs0" () in
+  (h, c)
+
+let test_acquire_release_sticky () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let _, c = mkclerk bed "f0" in
+      Clerk.acquire c ~lock:7 Types.W;
+      Alcotest.(check (option mode)) "held W" (Some Types.W) (Clerk.holds c ~lock:7);
+      Clerk.release c ~lock:7 Types.W;
+      (* Sticky: still cached after release. *)
+      Alcotest.(check (option mode)) "sticky" (Some Types.W) (Clerk.holds c ~lock:7);
+      (* Re-acquire must be instantaneous (no server round trip). *)
+      let t0 = Sim.now () in
+      Clerk.acquire c ~lock:7 Types.W;
+      Alcotest.(check int) "local re-acquire" t0 (Sim.now ());
+      Clerk.release c ~lock:7 Types.W)
+
+let test_conflict_revokes () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let _, c1 = mkclerk bed "f1" in
+      let _, c2 = mkclerk bed "f2" in
+      let flushed = ref false in
+      Clerk.set_callbacks c1
+        ~on_revoke:(fun ~lock ~to_read ->
+          if lock = 9 && not to_read then flushed := true)
+        ~on_do_recovery:(fun ~dead_lease:_ -> ())
+        ~on_expired:(fun () -> ());
+      Clerk.acquire c1 ~lock:9 Types.W;
+      Clerk.release c1 ~lock:9 Types.W;
+      (* c2 wants the same lock: c1 must be revoked (flush ran), then
+         c2 granted. *)
+      Clerk.acquire c2 ~lock:9 Types.W;
+      Alcotest.(check bool) "flush callback ran" true !flushed;
+      Alcotest.(check (option mode)) "c1 dropped" None (Clerk.holds c1 ~lock:9);
+      Alcotest.(check (option mode)) "c2 holds" (Some Types.W) (Clerk.holds c2 ~lock:9))
+
+let test_read_sharing () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let _, c1 = mkclerk bed "f1" in
+      let _, c2 = mkclerk bed "f2" in
+      Clerk.acquire c1 ~lock:3 Types.R;
+      Clerk.acquire c2 ~lock:3 Types.R;
+      Alcotest.(check (option mode)) "c1 R" (Some Types.R) (Clerk.holds c1 ~lock:3);
+      Alcotest.(check (option mode)) "c2 R" (Some Types.R) (Clerk.holds c2 ~lock:3))
+
+let test_downgrade () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let _, cw = mkclerk bed "w" in
+      let _, cr = mkclerk bed "r" in
+      let downgraded = ref false in
+      Clerk.set_callbacks cw
+        ~on_revoke:(fun ~lock:_ ~to_read -> if to_read then downgraded := true)
+        ~on_do_recovery:(fun ~dead_lease:_ -> ())
+        ~on_expired:(fun () -> ());
+      Clerk.acquire cw ~lock:5 Types.W;
+      Clerk.release cw ~lock:5 Types.W;
+      (* A reader forces only a downgrade: writer keeps R. *)
+      Clerk.acquire cr ~lock:5 Types.R;
+      Alcotest.(check bool) "downgrade callback" true !downgraded;
+      Alcotest.(check (option mode)) "writer downgraded" (Some Types.R)
+        (Clerk.holds cw ~lock:5);
+      Alcotest.(check (option mode)) "reader holds" (Some Types.R)
+        (Clerk.holds cr ~lock:5))
+
+let test_local_mrsw () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let _, c = mkclerk bed "f" in
+      Clerk.acquire c ~lock:1 Types.W;
+      (* A second local writer must wait for the first. *)
+      let second_done = ref (-1) in
+      Sim.spawn (fun () ->
+          Clerk.acquire c ~lock:1 Types.W;
+          second_done := Sim.now ();
+          Clerk.release c ~lock:1 Types.W);
+      Sim.sleep (Sim.ms 50);
+      Alcotest.(check int) "second writer blocked" (-1) !second_done;
+      Clerk.release c ~lock:1 Types.W;
+      Sim.sleep (Sim.ms 1);
+      Alcotest.(check bool) "second writer ran" true (!second_done >= 0))
+
+let test_upgrade_via_release () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let _, c = mkclerk bed "f" in
+      Clerk.acquire c ~lock:2 Types.R;
+      Clerk.release c ~lock:2 Types.R;
+      (* W after cached R: clerk must release and re-request. *)
+      Clerk.acquire c ~lock:2 Types.W;
+      Alcotest.(check (option mode)) "upgraded" (Some Types.W) (Clerk.holds c ~lock:2);
+      Clerk.release c ~lock:2 Types.W)
+
+let test_lease_expiry_triggers_recovery () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let h1, c1 = mkclerk bed "victim" in
+      let _, c2 = mkclerk bed "survivor" in
+      let recovered = Sim.Ivar.create () in
+      Clerk.set_callbacks c2
+        ~on_revoke:(fun ~lock:_ ~to_read:_ -> ())
+        ~on_do_recovery:(fun ~dead_lease ->
+          (* The recovery demon seizes the victim's lock (its "log"). *)
+          Clerk.acquire_for_recovery c2 ~lock:100;
+          Clerk.release c2 ~lock:100 Types.W;
+          if not (Sim.Ivar.is_filled recovered) then Sim.Ivar.fill recovered dead_lease)
+        ~on_expired:(fun () -> ());
+      Clerk.acquire c1 ~lock:100 Types.W;
+      let victim_lease = Clerk.lease c1 in
+      Host.crash h1;
+      let dead = Sim.Ivar.read recovered in
+      Alcotest.(check int) "recovered the victim's lease" victim_lease dead;
+      (* After recovery the victim's locks are released: c2 can take
+         lock 100 normally. *)
+      Clerk.acquire c2 ~lock:100 Types.W;
+      Alcotest.(check (option mode)) "survivor holds" (Some Types.W)
+        (Clerk.holds c2 ~lock:100))
+
+let test_partitioned_clerk_expires () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let h, c = mkclerk bed "isolated" in
+      let expired = ref false in
+      Clerk.set_callbacks c
+        ~on_revoke:(fun ~lock:_ ~to_read:_ -> ())
+        ~on_do_recovery:(fun ~dead_lease:_ -> ())
+        ~on_expired:(fun () -> expired := true);
+      Clerk.acquire c ~lock:4 Types.W;
+      Clerk.release c ~lock:4 Types.W;
+      (* Cut the clerk's host off from everything. *)
+      let addr_of h = h in
+      ignore addr_of;
+      let isolated = ref true in
+      let my = Host.name h in
+      ignore my;
+      Net.set_reachable bed.net (fun s d ->
+          not (!isolated && (s = 3 || d = 3)));
+      (* clerk host was attached 4th (after 3 servers) => addr 3 *)
+      Sim.sleep (Sim.sec 45.0);
+      Alcotest.(check bool) "clerk expired itself" true !expired;
+      Alcotest.(check bool) "locks discarded" true (Clerk.holds c ~lock:4 = None);
+      (try
+         Clerk.acquire c ~lock:4 Types.W;
+         Alcotest.fail "expected Lease_expired"
+       with Types.Lease_expired -> ()))
+
+let test_lock_server_crash_reassignment () =
+  Sim.run (fun () ->
+      let bed = mkservice ~nservers:3 () in
+      let _, c1 = mkclerk bed "f1" in
+      let _, c2 = mkclerk bed "f2" in
+      (* Hold a bunch of locks so some live on the server we crash. *)
+      for l = 0 to 19 do
+        Clerk.acquire c1 ~lock:l Types.W;
+        Clerk.release c1 ~lock:l Types.W
+      done;
+      Host.crash bed.shosts.(2);
+      (* Membership change + group reassignment takes a few heartbeats. *)
+      Sim.sleep (Sim.sec 20.0);
+      (* All locks must still be revocable and transferable. *)
+      for l = 0 to 19 do
+        Clerk.acquire c2 ~lock:l Types.W;
+        Alcotest.(check (option mode))
+          (Printf.sprintf "lock %d transferred" l)
+          (Some Types.W) (Clerk.holds c2 ~lock:l);
+        Clerk.release c2 ~lock:l Types.W
+      done)
+
+let test_fairness_batched_readers () =
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let _, cw = mkclerk bed "w" in
+      let _, cr1 = mkclerk bed "r1" in
+      let _, cr2 = mkclerk bed "r2" in
+      Clerk.acquire cw ~lock:6 Types.W;
+      let granted = ref [] in
+      let reader name c =
+        Sim.spawn (fun () ->
+            Clerk.acquire c ~lock:6 Types.R;
+            granted := (name, Sim.now ()) :: !granted)
+      in
+      reader "r1" cr1;
+      reader "r2" cr2;
+      Sim.sleep (Sim.sec 1.0);
+      Alcotest.(check (list string)) "no grant while writer active" []
+        (List.map fst !granted);
+      Clerk.release cw ~lock:6 Types.W;
+      Sim.sleep (Sim.sec 5.0);
+      (* Both readers granted, and both in the same revoke round. *)
+      match List.sort compare !granted with
+      | [ ("r1", t1); ("r2", t2) ] ->
+        Alcotest.(check bool) "batched" true (abs (t1 - t2) < Sim.ms 200)
+      | g -> Alcotest.fail (Printf.sprintf "got %d grants" (List.length g)))
+
+let prop_no_conflicting_holders =
+  QCheck.Test.make ~name:"never two conflicting global holders" ~count:10
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      Sim.run ~seed (fun () ->
+          let bed = mkservice () in
+          let clerks =
+            Array.init 4 (fun i -> snd (mkclerk bed (Printf.sprintf "f%d" i)))
+          in
+          let violation = ref false in
+          let check_invariant lock =
+            let holders =
+              Array.to_list clerks
+              |> List.filter_map (fun c -> Clerk.holds c ~lock)
+            in
+            let writers = List.length (List.filter (( = ) Types.W) holders) in
+            if writers > 1 || (writers = 1 && List.length holders > 1) then
+              violation := true
+          in
+          let pending = ref 12 in
+          let all = Sim.Ivar.create () in
+          for k = 0 to 11 do
+            Sim.spawn (fun () ->
+                Sim.sleep (Sim.random_int (Sim.sec 2.0));
+                let c = clerks.(k mod 4) in
+                let lock = Sim.random_int 3 in
+                let m = if Sim.random_int 2 = 0 then Types.R else Types.W in
+                Clerk.acquire c ~lock m;
+                check_invariant lock;
+                Sim.sleep (Sim.random_int (Sim.ms 100));
+                check_invariant lock;
+                Clerk.release c ~lock m;
+                decr pending;
+                if !pending = 0 then Sim.Ivar.fill all ())
+          done;
+          Sim.Ivar.read all;
+          not !violation))
+
+let () =
+  Alcotest.run "locksvc"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "acquire/release sticky" `Quick test_acquire_release_sticky;
+          Alcotest.test_case "conflict revokes" `Quick test_conflict_revokes;
+          Alcotest.test_case "read sharing" `Quick test_read_sharing;
+          Alcotest.test_case "downgrade" `Quick test_downgrade;
+          Alcotest.test_case "local MRSW" `Quick test_local_mrsw;
+          Alcotest.test_case "upgrade via release" `Quick test_upgrade_via_release;
+          Alcotest.test_case "fair batched readers" `Quick test_fairness_batched_readers;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "lease expiry -> recovery" `Quick
+            test_lease_expiry_triggers_recovery;
+          Alcotest.test_case "partitioned clerk expires" `Quick
+            test_partitioned_clerk_expires;
+          Alcotest.test_case "lock server crash reassigns" `Quick
+            test_lock_server_crash_reassignment;
+        ] );
+      ("safety", [ QCheck_alcotest.to_alcotest prop_no_conflicting_holders ]);
+    ]

@@ -1,0 +1,309 @@
+(* Model-based random testing: drive the file system with random
+   operation sequences and compare every result against a trivial
+   in-memory model. Ops alternate between two Frangipani servers, so
+   the comparison also exercises multi-server coherence on every
+   step. *)
+
+open Simkit
+open Frangipani
+module T = Workloads.Testbed
+
+(* --- the model ------------------------------------------------------------ *)
+
+type mnode = Mfile of Buffer.t | Mdir of (string, int) Hashtbl.t
+
+type model = {
+  nodes : (int, mnode) Hashtbl.t; (* model id -> node *)
+  mutable next : int;
+  mutable fs_of_model : (int * int) list; (* model id <-> fs inum *)
+}
+
+let mmodel () =
+  let m = { nodes = Hashtbl.create 64; next = 1; fs_of_model = [] } in
+  Hashtbl.replace m.nodes 0 (Mdir (Hashtbl.create 8));
+  m
+
+let mdir m id =
+  match Hashtbl.find_opt m.nodes id with Some (Mdir d) -> Some d | _ -> None
+
+(* --- operations ------------------------------------------------------------ *)
+
+type op =
+  | Create of int * string (* dir slot, name *)
+  | Mkdir of int * string
+  | Write of int * int * int (* file slot, off, len *)
+  | Read of int * int * int
+  | Unlink of int * string
+  | Rmdir of int * string
+  | Rename of int * string * int * string
+  | Truncate of int * int
+  | Listdir of int
+
+let names = [| "a"; "b"; "c"; "d"; "e" |]
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun d n -> Create (d, names.(n))) (int_bound 3) (int_bound 4));
+        (2, map2 (fun d n -> Mkdir (d, names.(n))) (int_bound 3) (int_bound 4));
+        ( 5,
+          map3
+            (fun f off len -> Write (f, off * 1000, len))
+            (int_bound 5) (int_bound 20) (int_range 1 5000) );
+        ( 4,
+          map3
+            (fun f off len -> Read (f, off * 1000, len))
+            (int_bound 5) (int_bound 25) (int_range 1 8000) );
+        (2, map2 (fun d n -> Unlink (d, names.(n))) (int_bound 3) (int_bound 4));
+        (1, map2 (fun d n -> Rmdir (d, names.(n))) (int_bound 3) (int_bound 4));
+        ( 2,
+          map2
+            (fun (d1, n1) (d2, n2) -> Rename (d1, names.(n1), d2, names.(n2)))
+            (pair (int_bound 3) (int_bound 4))
+            (pair (int_bound 3) (int_bound 4)) );
+        (1, map2 (fun f sz -> Truncate (f, sz * 500)) (int_bound 5) (int_bound 10));
+        (2, map (fun d -> Listdir d) (int_bound 3));
+      ])
+
+(* Pick the k-th directory (model id) among existing dirs, the k-th
+   file among existing files. *)
+let nth_of m pred k =
+  let ids =
+    Hashtbl.fold (fun id n acc -> if pred n then id :: acc else acc) m.nodes []
+    |> List.sort compare
+  in
+  match ids with [] -> None | _ -> Some (List.nth ids (k mod List.length ids))
+
+let fs_inum m id = List.assoc id m.fs_of_model
+let is_dir = function Mdir _ -> true | Mfile _ -> false
+let is_file = function Mfile _ -> true | Mdir _ -> false
+
+let pattern off len = Bytes.init len (fun i -> Char.chr ((off + i) mod 251))
+
+(* Apply one op to both the model and the fs; return false on any
+   observable divergence. *)
+let apply m fs op =
+  let expect_same (result : ('a, Errors.error) result)
+      (model_result : ('a, Errors.error) result) =
+    result = model_result
+  in
+  let run_fs f = try Ok (f ()) with Errors.Error e -> Error e in
+  match op with
+  | Create (dslot, name) -> (
+    match nth_of m is_dir dslot with
+    | None -> true
+    | Some d ->
+      let fs_r = run_fs (fun () -> Fs.create fs ~dir:(fs_inum m d) name) in
+      let dirtbl = Option.get (mdir m d) in
+      if Hashtbl.mem dirtbl name then expect_same (Result.map ignore fs_r) (Error Errors.Eexist)
+      else begin
+        match fs_r with
+        | Ok inum ->
+          let id = m.next in
+          m.next <- id + 1;
+          Hashtbl.replace m.nodes id (Mfile (Buffer.create 16));
+          Hashtbl.replace dirtbl name id;
+          m.fs_of_model <- (id, inum) :: m.fs_of_model;
+          true
+        | Error _ -> false
+      end)
+  | Mkdir (dslot, name) -> (
+    match nth_of m is_dir dslot with
+    | None -> true
+    | Some d ->
+      let fs_r = run_fs (fun () -> Fs.mkdir fs ~dir:(fs_inum m d) name) in
+      let dirtbl = Option.get (mdir m d) in
+      if Hashtbl.mem dirtbl name then expect_same (Result.map ignore fs_r) (Error Errors.Eexist)
+      else begin
+        match fs_r with
+        | Ok inum ->
+          let id = m.next in
+          m.next <- id + 1;
+          Hashtbl.replace m.nodes id (Mdir (Hashtbl.create 8));
+          Hashtbl.replace dirtbl name id;
+          m.fs_of_model <- (id, inum) :: m.fs_of_model;
+          true
+        | Error _ -> false
+      end)
+  | Write (fslot, off, len) -> (
+    match nth_of m is_file fslot with
+    | None -> true
+    | Some f -> (
+      let data = pattern off len in
+      match run_fs (fun () -> Fs.write fs (fs_inum m f) ~off data) with
+      | Ok () -> (
+        match Hashtbl.find m.nodes f with
+        | Mfile buf ->
+          let cur = Buffer.length buf in
+          if off > cur then Buffer.add_bytes buf (Bytes.make (off - cur) '\000');
+          let s = Buffer.to_bytes buf in
+          let newlen = max (Bytes.length s) (off + len) in
+          let s' = Bytes.make newlen '\000' in
+          Bytes.blit s 0 s' 0 (Bytes.length s);
+          Bytes.blit data 0 s' off len;
+          Buffer.clear buf;
+          Buffer.add_bytes buf s';
+          true
+        | Mdir _ -> false)
+      | Error _ -> false))
+  | Read (fslot, off, len) -> (
+    match nth_of m is_file fslot with
+    | None -> true
+    | Some f -> (
+      match run_fs (fun () -> Fs.read fs (fs_inum m f) ~off ~len) with
+      | Ok got -> (
+        match Hashtbl.find m.nodes f with
+        | Mfile buf ->
+          let s = Buffer.to_bytes buf in
+          let avail = max 0 (min len (Bytes.length s - off)) in
+          let expect = if avail = 0 then Bytes.empty else Bytes.sub s off avail in
+          Bytes.equal got expect
+        | Mdir _ -> false)
+      | Error _ -> false))
+  | Unlink (dslot, name) -> (
+    match nth_of m is_dir dslot with
+    | None -> true
+    | Some d -> (
+      let dirtbl = Option.get (mdir m d) in
+      let fs_r = run_fs (fun () -> Fs.unlink fs ~dir:(fs_inum m d) name) in
+      match Hashtbl.find_opt dirtbl name with
+      | None -> fs_r = Error Errors.Enoent
+      | Some target when is_dir (Hashtbl.find m.nodes target) ->
+        fs_r = Error Errors.Eisdir
+      | Some target ->
+        Hashtbl.remove dirtbl name;
+        Hashtbl.remove m.nodes target;
+        fs_r = Ok ()))
+  | Rmdir (dslot, name) -> (
+    match nth_of m is_dir dslot with
+    | None -> true
+    | Some d -> (
+      let dirtbl = Option.get (mdir m d) in
+      let fs_r = run_fs (fun () -> Fs.rmdir fs ~dir:(fs_inum m d) name) in
+      match Hashtbl.find_opt dirtbl name with
+      | None -> fs_r = Error Errors.Enoent
+      | Some target -> (
+        match Hashtbl.find m.nodes target with
+        | Mfile _ -> fs_r = Error Errors.Enotdir
+        | Mdir sub when Hashtbl.length sub > 0 -> fs_r = Error Errors.Enotempty
+        | Mdir _ ->
+          Hashtbl.remove dirtbl name;
+          Hashtbl.remove m.nodes target;
+          fs_r = Ok ())))
+  | Rename (d1s, n1, d2s, n2) -> (
+    match (nth_of m is_dir d1s, nth_of m is_dir d2s) with
+    | Some d1, Some d2 -> (
+      let t1 = Option.get (mdir m d1) and t2 = Option.get (mdir m d2) in
+      let fs_r =
+        run_fs (fun () -> Fs.rename fs ~sdir:(fs_inum m d1) n1 ~ddir:(fs_inum m d2) n2)
+      in
+      match Hashtbl.find_opt t1 n1 with
+      | None -> fs_r = Error Errors.Enoent
+      | Some src -> (
+        (* Skip awkward cases the model does not bother with. *)
+        let self_target = src = d2 || src = d1 in
+        if self_target then true
+        else
+          match Hashtbl.find_opt t2 n2 with
+          | Some dst when dst = src ->
+            (* No-op rename onto the same node. *)
+            fs_r = Ok ()
+          | Some dst -> (
+            match (Hashtbl.find m.nodes src, Hashtbl.find m.nodes dst) with
+            | Mdir _, Mfile _ -> fs_r = Error Errors.Enotdir
+            | Mfile _, Mdir _ -> fs_r = Error Errors.Eisdir
+            | Mdir _, Mdir sub when Hashtbl.length sub > 0 ->
+              fs_r = Error Errors.Enotempty
+            | _ ->
+              Hashtbl.remove t1 n1;
+              Hashtbl.replace t2 n2 src;
+              Hashtbl.remove m.nodes dst;
+              fs_r = Ok ()
+          )
+          | None ->
+            Hashtbl.remove t1 n1;
+            Hashtbl.replace t2 n2 src;
+            fs_r = Ok ()))
+    | _ -> true)
+  | Truncate (fslot, size) -> (
+    match nth_of m is_file fslot with
+    | None -> true
+    | Some f -> (
+      match run_fs (fun () -> Fs.truncate fs (fs_inum m f) ~size) with
+      | Ok () -> (
+        match Hashtbl.find m.nodes f with
+        | Mfile buf ->
+          let s = Buffer.to_bytes buf in
+          let s' =
+            if size <= Bytes.length s then Bytes.sub s 0 size
+            else begin
+              let b = Bytes.make size '\000' in
+              Bytes.blit s 0 b 0 (Bytes.length s);
+              b
+            end
+          in
+          Buffer.clear buf;
+          Buffer.add_bytes buf s';
+          true
+        | Mdir _ -> false)
+      | Error _ -> false))
+  | Listdir dslot -> (
+    match nth_of m is_dir dslot with
+    | None -> true
+    | Some d -> (
+      match run_fs (fun () -> Fs.readdir fs (fs_inum m d)) with
+      | Ok entries ->
+        let dirtbl = Option.get (mdir m d) in
+        let got = List.sort compare (List.map fst entries) in
+        let expect =
+          Hashtbl.fold (fun n _ acc -> n :: acc) dirtbl [] |> List.sort compare
+        in
+        got = expect
+      | Error _ -> false))
+
+let root_binding m = m.fs_of_model <- [ (0, Fs.root) ]
+
+let prop_matches_model ~servers =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random ops match model (%d server%s)" servers
+             (if servers > 1 then "s" else ""))
+    ~count:15
+    QCheck.(pair (int_range 0 100000) (list_of_size (QCheck.Gen.int_range 20 60) (QCheck.make gen_op)))
+    (fun (seed, ops) ->
+      Sim.run ~seed (fun () ->
+          let t = T.build ~petal_servers:3 ~ndisks:2 ~ngroups:16 () in
+          let fss = Array.init servers (fun _ -> T.add_server t ()) in
+          let m = mmodel () in
+          root_binding m;
+          List.for_all
+            (fun op ->
+              let fs = fss.(Sim.random_int servers) in
+              apply m fs op)
+            ops))
+
+(* After a random workload plus sync, the on-disk state must satisfy
+   fsck with zero findings. *)
+let prop_fsck_clean_after_random_ops =
+  QCheck.Test.make ~name:"fsck clean after random ops" ~count:10
+    QCheck.(pair (int_range 0 100000) (list_of_size (QCheck.Gen.int_range 20 50) (QCheck.make gen_op)))
+    (fun (seed, ops) ->
+      Sim.run ~seed (fun () ->
+          let t = T.build ~petal_servers:3 ~ndisks:2 ~ngroups:16 () in
+          let fs = T.add_server t () in
+          let m = mmodel () in
+          root_binding m;
+          List.iter (fun op -> ignore (apply m fs op)) ops;
+          Fs.sync fs;
+          Fsck.check fs = []))
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest (prop_matches_model ~servers:1);
+          QCheck_alcotest.to_alcotest (prop_matches_model ~servers:2);
+          QCheck_alcotest.to_alcotest prop_fsck_clean_after_random_ops;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+open Simkit
+open Cluster
+
+module P = Paxos.Make (struct
+  type t = string
+end)
+
+type cluster = {
+  hosts : Host.t array;
+  rpcs : Rpc.t array;
+  replicas : P.t array;
+  logs : string list ref array; (* applied commands per replica, reversed *)
+}
+
+let mkcluster ?(n = 3) () =
+  let net = Net.create () in
+  let hosts = Array.init n (fun i -> Host.create (Printf.sprintf "ls%d" i)) in
+  let rpcs = Array.map (fun h -> Rpc.create (Net.attach net h)) hosts in
+  let peers = Array.to_list (Array.map Rpc.addr rpcs) in
+  let logs = Array.init n (fun _ -> ref []) in
+  let replicas =
+    Array.init n (fun i ->
+        P.create ~rpc:rpcs.(i) ~group:1 ~peers ~id:i ~stable:(P.stable ())
+          ~apply:(fun _slot cmd -> logs.(i) := cmd :: !(logs.(i))))
+  in
+  { hosts; rpcs; replicas; logs }
+
+let applied c i = List.rev !(c.logs.(i))
+
+let is_prefix a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' -> x = y && go a' b'
+  in
+  go a b
+
+let consistent c =
+  let n = Array.length c.replicas in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let a = applied c i and b = applied c j in
+      if not (is_prefix a b || is_prefix b a) then ok := false
+    done
+  done;
+  !ok
+
+let test_single_proposer () =
+  Sim.run (fun () ->
+      let c = mkcluster () in
+      let s1 = P.propose c.replicas.(0) "alpha" in
+      let s2 = P.propose c.replicas.(0) "beta" in
+      Alcotest.(check bool) "slots increase" true (s2 > s1);
+      Sim.sleep (Sim.sec 2.0);
+      Alcotest.(check (list string)) "replica0" [ "alpha"; "beta" ] (applied c 0);
+      Alcotest.(check (list string)) "replica1" [ "alpha"; "beta" ] (applied c 1);
+      Alcotest.(check (list string)) "replica2" [ "alpha"; "beta" ] (applied c 2))
+
+let test_concurrent_proposers () =
+  Sim.run (fun () ->
+      let c = mkcluster () in
+      let pending = ref 6 in
+      let all = Sim.Ivar.create () in
+      for i = 0 to 2 do
+        for k = 0 to 1 do
+          Sim.spawn (fun () ->
+              ignore (P.propose c.replicas.(i) (Printf.sprintf "c%d.%d" i k));
+              decr pending;
+              if !pending = 0 then Sim.Ivar.fill all ())
+        done
+      done;
+      Sim.Ivar.read all;
+      Sim.sleep (Sim.sec 2.0);
+      List.iter
+        (fun i ->
+          Alcotest.(check int)
+            (Printf.sprintf "replica %d applied all" i)
+            6
+            (List.length (applied c i)))
+        [ 0; 1; 2 ];
+      Alcotest.(check bool) "logs agree" true (consistent c);
+      (* No duplicates. *)
+      let l = applied c 0 in
+      Alcotest.(check int) "distinct" (List.length l)
+        (List.length (List.sort_uniq compare l)))
+
+let test_minority_crash () =
+  Sim.run (fun () ->
+      let c = mkcluster () in
+      ignore (P.propose c.replicas.(0) "one");
+      Host.crash c.hosts.(2);
+      ignore (P.propose c.replicas.(0) "two");
+      ignore (P.propose c.replicas.(1) "three");
+      Sim.sleep (Sim.sec 2.0);
+      Alcotest.(check (list string)) "majority progresses"
+        [ "one"; "two"; "three" ] (applied c 0);
+      Alcotest.(check bool) "logs agree" true (consistent c))
+
+let test_partition_heals () =
+  Sim.run (fun () ->
+      let net = Net.create () in
+      let hosts = Array.init 3 (fun i -> Host.create (Printf.sprintf "ls%d" i)) in
+      let ports = Array.map (fun h -> Net.attach net h) hosts in
+      let rpcs = Array.map Rpc.create ports in
+      let peers = Array.to_list (Array.map Rpc.addr rpcs) in
+      let logs = Array.init 3 (fun _ -> ref []) in
+      let replicas =
+        Array.init 3 (fun i ->
+            P.create ~rpc:rpcs.(i) ~group:1 ~peers ~id:i ~stable:(P.stable ())
+              ~apply:(fun _ cmd -> logs.(i) := cmd :: !(logs.(i))))
+      in
+      (* Cut replica 2 off. *)
+      let a2 = Rpc.addr rpcs.(2) in
+      Net.set_reachable net (fun s d -> s <> a2 && d <> a2);
+      ignore (P.propose replicas.(0) "during-partition");
+      Alcotest.(check (list string)) "isolated learns nothing" [] (List.rev !(logs.(2)));
+      Net.clear_partition net;
+      Sim.sleep (Sim.sec 2.0);
+      Alcotest.(check (list string)) "catch-up after heal" [ "during-partition" ]
+        (List.rev !(logs.(2))))
+
+let test_five_replicas_two_crashes () =
+  Sim.run (fun () ->
+      let c = mkcluster ~n:5 () in
+      ignore (P.propose c.replicas.(0) "a");
+      Host.crash c.hosts.(3);
+      Host.crash c.hosts.(4);
+      ignore (P.propose c.replicas.(1) "b");
+      ignore (P.propose c.replicas.(2) "c");
+      Sim.sleep (Sim.sec 2.0);
+      Alcotest.(check (list string)) "3-of-5 progresses" [ "a"; "b"; "c" ] (applied c 0);
+      Alcotest.(check bool) "agree" true (consistent c))
+
+let prop_safety_random_schedules =
+  QCheck.Test.make ~name:"paxos safety under random proposers" ~count:15
+    QCheck.(pair (int_range 0 10000) (int_range 2 8))
+    (fun (seed, nprop) ->
+      Sim.run ~seed (fun () ->
+          let c = mkcluster () in
+          let pending = ref nprop in
+          let all = Sim.Ivar.create () in
+          for k = 0 to nprop - 1 do
+            Sim.spawn (fun () ->
+                Sim.sleep (Sim.random_int (Sim.ms 200));
+                let who = Sim.random_int 3 in
+                ignore (P.propose c.replicas.(who) (Printf.sprintf "p%d" k));
+                decr pending;
+                if !pending = 0 then Sim.Ivar.fill all ())
+          done;
+          Sim.Ivar.read all;
+          Sim.sleep (Sim.sec 2.0);
+          consistent c
+          && List.length (applied c 0) = nprop
+          && applied c 0 = applied c 1
+          && applied c 1 = applied c 2))
+
+let () =
+  Alcotest.run "paxos"
+    [
+      ( "paxos",
+        [
+          Alcotest.test_case "single proposer" `Quick test_single_proposer;
+          Alcotest.test_case "concurrent proposers" `Quick test_concurrent_proposers;
+          Alcotest.test_case "minority crash" `Quick test_minority_crash;
+          Alcotest.test_case "partition heals" `Quick test_partition_heals;
+          Alcotest.test_case "5 replicas, 2 crashes" `Quick test_five_replicas_two_crashes;
+          QCheck_alcotest.to_alcotest prop_safety_random_schedules;
+        ] );
+    ]

@@ -1,0 +1,370 @@
+open Simkit
+open Cluster
+
+let setup ?(nservers = 4) ?(nrep = 2) () =
+  let net = Net.create () in
+  let tb = Petal.Testbed.build ~net ~nservers ~ndisks:3 () in
+  let ch = Host.create "client" in
+  let rpc = Rpc.create (Net.attach net ch) in
+  let c = Petal.Testbed.client tb ~rpc in
+  let vid = Petal.Client.create_vdisk c ~nrep in
+  let vd = Petal.Client.open_vdisk c vid in
+  (net, tb, c, vd)
+
+let bytes_pat n seed = Bytes.init n (fun i -> Char.chr ((i + seed) mod 256))
+
+let test_roundtrip () =
+  Sim.run (fun () ->
+      let _, _, _, vd = setup () in
+      let data = bytes_pat 4096 1 in
+      Petal.Client.write vd ~off:8192 data;
+      let got = Petal.Client.read vd ~off:8192 ~len:4096 in
+      Alcotest.(check bool) "roundtrip" true (Bytes.equal data got))
+
+let test_sparse_space () =
+  Sim.run (fun () ->
+      let _, tb, _, vd = setup () in
+      (* Write at 100 TB: only the touched chunks commit space. *)
+      let off = 100 * (1 lsl 40) in
+      Petal.Client.write vd ~off (bytes_pat 512 3);
+      let got = Petal.Client.read vd ~off ~len:512 in
+      Alcotest.(check bool) "data at 100TB" true (Bytes.equal (bytes_pat 512 3) got);
+      let total =
+        Array.fold_left
+          (fun acc s -> acc + Petal.Server.disk_bytes_allocated s)
+          0 tb.Petal.Testbed.servers
+      in
+      (* one 64 KB chunk, two replicas *)
+      Alcotest.(check int) "committed space" (2 * 65536) total)
+
+let test_unwritten_zero () =
+  Sim.run (fun () ->
+      let _, _, _, vd = setup () in
+      let got = Petal.Client.read vd ~off:0 ~len:1024 in
+      Alcotest.(check string) "zeros" (String.make 1024 '\000') (Bytes.to_string got))
+
+let test_cross_chunk () =
+  Sim.run (fun () ->
+      let _, _, _, vd = setup () in
+      (* 200 KB spanning 4 chunks, starting mid-chunk. *)
+      let data = bytes_pat 204800 7 in
+      Petal.Client.write vd ~off:32768 data;
+      let got = Petal.Client.read vd ~off:32768 ~len:204800 in
+      Alcotest.(check bool) "cross-chunk" true (Bytes.equal data got))
+
+let test_failover_read () =
+  Sim.run (fun () ->
+      let _, tb, _, vd = setup () in
+      let data = bytes_pat 512 9 in
+      Petal.Client.write vd ~off:0 data;
+      (* With 2-way replication the data must stay readable whichever
+         single server is down. *)
+      let open Petal.Testbed in
+      let n = Array.length tb.hosts in
+      for i = 0 to n - 1 do
+        Host.crash tb.hosts.(i);
+        let got = Petal.Client.read vd ~off:0 ~len:512 in
+        Alcotest.(check bool)
+          (Printf.sprintf "readable with server %d down" i)
+          true (Bytes.equal data got);
+        Host.restart tb.hosts.(i)
+      done)
+
+let test_unreplicated_unavailable () =
+  Sim.run (fun () ->
+      let _, tb, _, vd = setup ~nrep:1 () in
+      Petal.Client.write vd ~off:0 (bytes_pat 512 1);
+      (* Crash all servers: the read must fail, not hang. *)
+      Array.iter Host.crash tb.Petal.Testbed.hosts;
+      try
+        ignore (Petal.Client.read vd ~off:0 ~len:512);
+        Alcotest.fail "expected Unavailable"
+      with Petal.Protocol.Unavailable _ -> ())
+
+let test_decommit () =
+  Sim.run (fun () ->
+      let _, tb, _, vd = setup () in
+      Petal.Client.write vd ~off:0 (bytes_pat 65536 5);
+      let allocated () =
+        Array.fold_left
+          (fun acc s -> acc + Petal.Server.disk_bytes_allocated s)
+          0 tb.Petal.Testbed.servers
+      in
+      let before = allocated () in
+      Alcotest.(check int) "committed" (2 * 65536) before;
+      Petal.Client.decommit vd ~off:0 ~len:65536;
+      Alcotest.(check int) "freed" 0 (allocated ());
+      let got = Petal.Client.read vd ~off:0 ~len:512 in
+      Alcotest.(check string) "decommitted reads zero" (String.make 512 '\000')
+        (Bytes.to_string got);
+      (* Space recommits on rewrite. *)
+      Petal.Client.write vd ~off:0 (bytes_pat 512 6);
+      Alcotest.(check int) "recommitted" (2 * 65536) (allocated ()))
+
+let test_snapshot_cow () =
+  Sim.run (fun () ->
+      let _, _, c, vd = setup () in
+      Petal.Client.write vd ~off:0 (bytes_pat 512 1);
+      let snap_id = Petal.Client.snapshot vd in
+      let snap = Petal.Client.open_vdisk c snap_id in
+      Alcotest.(check bool) "snapshot flagged" true (Petal.Client.is_snapshot snap);
+      (* Overwrite the live disk. *)
+      Petal.Client.write vd ~off:0 (bytes_pat 512 2);
+      let live = Petal.Client.read vd ~off:0 ~len:512 in
+      let old = Petal.Client.read snap ~off:0 ~len:512 in
+      Alcotest.(check bool) "live sees new" true (Bytes.equal live (bytes_pat 512 2));
+      Alcotest.(check bool) "snapshot sees old" true (Bytes.equal old (bytes_pat 512 1));
+      (* Snapshots are read-only. *)
+      (try
+         Petal.Client.write snap ~off:0 (bytes_pat 512 3);
+         Alcotest.fail "expected Read_only"
+       with Petal.Protocol.Read_only -> ());
+      (* Data written after the snapshot is invisible to it. *)
+      Petal.Client.write vd ~off:4096 (bytes_pat 512 4);
+      let unseen = Petal.Client.read snap ~off:4096 ~len:512 in
+      Alcotest.(check string) "post-snapshot write invisible"
+        (String.make 512 '\000') (Bytes.to_string unseen))
+
+let test_snapshot_survives_decommit () =
+  Sim.run (fun () ->
+      let _, _, c, vd = setup () in
+      Petal.Client.write vd ~off:0 (bytes_pat 65536 1);
+      let snap = Petal.Client.open_vdisk c (Petal.Client.snapshot vd) in
+      Petal.Client.decommit vd ~off:0 ~len:65536;
+      let live = Petal.Client.read vd ~off:0 ~len:512 in
+      Alcotest.(check string) "live zeroed" (String.make 512 '\000')
+        (Bytes.to_string live);
+      let old = Petal.Client.read snap ~off:0 ~len:65536 in
+      Alcotest.(check bool) "snapshot retains data" true
+        (Bytes.equal old (bytes_pat 65536 1)))
+
+let test_two_snapshots () =
+  Sim.run (fun () ->
+      let _, _, c, vd = setup () in
+      Petal.Client.write vd ~off:0 (bytes_pat 512 1);
+      let s1 = Petal.Client.open_vdisk c (Petal.Client.snapshot vd) in
+      Petal.Client.write vd ~off:0 (bytes_pat 512 2);
+      let s2 = Petal.Client.open_vdisk c (Petal.Client.snapshot vd) in
+      Petal.Client.write vd ~off:0 (bytes_pat 512 3);
+      let r1 = Petal.Client.read s1 ~off:0 ~len:512 in
+      let r2 = Petal.Client.read s2 ~off:0 ~len:512 in
+      let r3 = Petal.Client.read vd ~off:0 ~len:512 in
+      Alcotest.(check bool) "s1" true (Bytes.equal r1 (bytes_pat 512 1));
+      Alcotest.(check bool) "s2" true (Bytes.equal r2 (bytes_pat 512 2));
+      Alcotest.(check bool) "live" true (Bytes.equal r3 (bytes_pat 512 3)))
+
+let test_two_vdisks_isolated () =
+  Sim.run (fun () ->
+      let net = Net.create () in
+      let tb = Petal.Testbed.build ~net ~nservers:3 ~ndisks:2 () in
+      let ch = Host.create "client" in
+      let rpc = Rpc.create (Net.attach net ch) in
+      let c = Petal.Testbed.client tb ~rpc in
+      let v1 = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
+      let v2 = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
+      Petal.Client.write v1 ~off:0 (bytes_pat 512 1);
+      Petal.Client.write v2 ~off:0 (bytes_pat 512 2);
+      Alcotest.(check bool) "v1" true
+        (Bytes.equal (Petal.Client.read v1 ~off:0 ~len:512) (bytes_pat 512 1));
+      Alcotest.(check bool) "v2" true
+        (Bytes.equal (Petal.Client.read v2 ~off:0 ~len:512) (bytes_pat 512 2)))
+
+let test_resync_after_degraded_writes () =
+  Sim.run (fun () ->
+      let _, tb, _, vd = setup () in
+      Petal.Client.write vd ~off:0 (bytes_pat 65536 1);
+      (* Take each server down in turn and write through the
+         degradation, so both replicas of chunk 0 go stale at some
+         point. *)
+      let open Petal.Testbed in
+      let n = Array.length tb.hosts in
+      for i = 0 to n - 1 do
+        Cluster.Host.crash tb.hosts.(i);
+        Petal.Client.write vd ~off:0 (bytes_pat 65536 (10 + i));
+        Cluster.Host.restart tb.hosts.(i)
+      done;
+      let final = bytes_pat 65536 (10 + n - 1) in
+      (* Let anti-entropy repair the lagging replicas. *)
+      Sim.sleep (Sim.sec 30.0);
+      let pending =
+        Array.fold_left (fun acc s -> acc + Petal.Server.degraded_count s) 0 tb.servers
+      in
+      Alcotest.(check int) "resync drained" 0 pending;
+      (* Now EVERY single-failure view must serve the final data. *)
+      for i = 0 to n - 1 do
+        Cluster.Host.crash tb.hosts.(i);
+        let got = Petal.Client.read vd ~off:0 ~len:65536 in
+        Alcotest.(check bool)
+          (Printf.sprintf "fresh data with server %d down" i)
+          true (Bytes.equal got final);
+        Cluster.Host.restart tb.hosts.(i)
+      done)
+
+let test_write_guard () =
+  Sim.run (fun () ->
+      let _, _, _, vd = setup () in
+      (* Valid timestamp: accepted. *)
+      Petal.Client.set_write_guard vd (fun () -> Some (Sim.now () + Sim.sec 10.0));
+      Petal.Client.write vd ~off:0 (bytes_pat 512 1);
+      (* Expired timestamp: the server must refuse the write. *)
+      Petal.Client.set_write_guard vd (fun () -> Some (Sim.now () - 1));
+      (try
+         Petal.Client.write vd ~off:0 (bytes_pat 512 2);
+         Alcotest.fail "expected Stale_write"
+       with Petal.Protocol.Stale_write _ -> ());
+      Petal.Client.set_write_guard vd (fun () -> None);
+      let got = Petal.Client.read vd ~off:0 ~len:512 in
+      Alcotest.(check bool) "stale write was ignored" true
+        (Bytes.equal got (bytes_pat 512 1)))
+
+let test_crc_damage_repaired_from_replica () =
+  (* §4: "If a sector is damaged such that reading it returns a CRC
+     error, Petal's built-in replication can ordinarily recover it." *)
+  Sim.run (fun () ->
+      let _, tb, _, vd = setup () in
+      let data = bytes_pat 65536 3 in
+      Petal.Client.write vd ~off:0 data;
+      let open Petal.Testbed in
+      (* Chunk 0's primary is server [(root + 0) mod n]; this is the
+         first extent it allocated, so it sits at offset 0 of its
+         first disk. Damage a sector of it (a media/CRC error). *)
+      let n = Array.length tb.servers in
+      let primary = Petal.Client.id vd mod n in
+      Blockdev.Disk.damage_sector tb.disks.(primary).(0) 17;
+      (* The read still succeeds: the primary detects the CRC error,
+         pulls a clean copy from the replica and repairs its medium. *)
+      let got = Petal.Client.read vd ~off:0 ~len:65536 in
+      Alcotest.(check bool) "repaired read" true (Bytes.equal got data);
+      (* The repair is durable: read again with the replica down. *)
+      let secondary = (primary + 1) mod n in
+      Cluster.Host.crash tb.hosts.(secondary);
+      let again = Petal.Client.read vd ~off:0 ~len:65536 in
+      Alcotest.(check bool) "primary medium repaired" true (Bytes.equal again data))
+
+let test_trusted_addresses () =
+  (* §2.2: "accept requests only from a list of network addresses
+     belonging to trusted Frangipani server machines". *)
+  Sim.run (fun () ->
+      let net = Cluster.Net.create () in
+      let tb = Petal.Testbed.build ~net ~nservers:3 ~ndisks:2 () in
+      let mk name =
+        let h = Host.create name in
+        Rpc.create (Net.attach net h)
+      in
+      let trusted_rpc = mk "trusted" and rogue_rpc = mk "rogue" in
+      let trusted = Petal.Testbed.client tb ~rpc:trusted_rpc in
+      let rogue = Petal.Testbed.client tb ~rpc:rogue_rpc in
+      let vid = Petal.Client.create_vdisk trusted ~nrep:2 in
+      let vd = Petal.Client.open_vdisk trusted vid in
+      Petal.Client.write vd ~off:0 (bytes_pat 512 1);
+      (* Lock the cluster down to the trusted machine only. *)
+      Array.iter
+        (fun s -> Petal.Server.set_trusted s (Some [ Rpc.addr trusted_rpc ]))
+        tb.Petal.Testbed.servers;
+      (* The trusted machine still works. *)
+      ignore (Petal.Client.read vd ~off:0 ~len:512);
+      Petal.Client.write vd ~off:512 (bytes_pat 512 2);
+      (* The rogue machine is refused everywhere. *)
+      let vd_rogue = Petal.Client.open_vdisk rogue vid in
+      (try
+         ignore (Petal.Client.read vd_rogue ~off:0 ~len:512);
+         Alcotest.fail "rogue read should fail"
+       with Failure _ | Petal.Protocol.Unavailable _ -> ());
+      (try
+         Petal.Client.write vd_rogue ~off:0 (bytes_pat 512 9);
+         Alcotest.fail "rogue write should fail"
+       with Failure _ | Petal.Protocol.Unavailable _ | Petal.Protocol.Stale_write _ -> ());
+      (* The data was not modified by the rogue. *)
+      let got = Petal.Client.read vd ~off:0 ~len:512 in
+      Alcotest.(check bool) "unmodified" true (Bytes.equal got (bytes_pat 512 1)))
+
+let prop_snapshots_match_model =
+  (* Interleave writes and snapshots; every snapshot must forever read
+     exactly what the model held at its creation instant. *)
+  QCheck.Test.make ~name:"snapshots freeze the model state" ~count:15
+    QCheck.(
+      pair (int_range 0 100000)
+        (list_of_size Gen.(int_range 4 20) (pair (int_range 0 100) bool)))
+    (fun (seed, script) ->
+      Sim.run ~seed (fun () ->
+          let _, _, c, vd = setup ~nservers:3 () in
+          let model = Bytes.make (64 * 1024) '\000' in
+          let snaps = ref [] in
+          List.iteri
+            (fun k (sector, snap) ->
+              if snap then begin
+                let id = Petal.Client.snapshot vd in
+                snaps := (Petal.Client.open_vdisk c id, Bytes.copy model) :: !snaps
+              end
+              else begin
+                let off = sector * 512 in
+                let data = bytes_pat 512 k in
+                Petal.Client.write vd ~off data;
+                Bytes.blit data 0 model off 512
+              end)
+            script;
+          List.for_all
+            (fun (svd, frozen) ->
+              Bytes.equal (Petal.Client.read svd ~off:0 ~len:(64 * 1024)) frozen)
+            !snaps
+          && Bytes.equal (Petal.Client.read vd ~off:0 ~len:(64 * 1024)) model))
+
+let prop_random_io_matches_model =
+  QCheck.Test.make ~name:"random chunk I/O matches a flat model" ~count:20
+    QCheck.(
+      pair (int_range 0 100000)
+        (list_of_size Gen.(int_range 1 25)
+           (pair (int_range 0 500) (int_range 1 16))))
+    (fun (seed, ops) ->
+      Sim.run ~seed (fun () ->
+          let _, _, _, vd = setup ~nservers:3 () in
+          let model = Bytes.make (512 * 1024) '\000' in
+          List.iteri
+            (fun k (sector, nsect) ->
+              let off = sector * 512 and len = nsect * 512 in
+              let data = bytes_pat len (k * 37) in
+              Petal.Client.write vd ~off data;
+              Bytes.blit data 0 model off len)
+            ops;
+          List.for_all
+            (fun (sector, nsect) ->
+              let off = sector * 512 and len = nsect * 512 in
+              let got = Petal.Client.read vd ~off ~len in
+              Bytes.equal got (Bytes.sub model off len))
+            ops))
+
+let () =
+  Alcotest.run "petal"
+    [
+      ( "data path",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "sparse 2^62 space" `Quick test_sparse_space;
+          Alcotest.test_case "unwritten reads zero" `Quick test_unwritten_zero;
+          Alcotest.test_case "cross-chunk I/O" `Quick test_cross_chunk;
+          QCheck_alcotest.to_alcotest prop_random_io_matches_model;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "read failover" `Quick test_failover_read;
+          Alcotest.test_case "unavailable raises" `Quick test_unreplicated_unavailable;
+          Alcotest.test_case "lease write guard" `Quick test_write_guard;
+          Alcotest.test_case "resync after degraded writes" `Quick
+            test_resync_after_degraded_writes;
+          Alcotest.test_case "trusted address list" `Quick test_trusted_addresses;
+          Alcotest.test_case "CRC damage repaired from replica" `Quick
+            test_crc_damage_repaired_from_replica;
+        ] );
+      ( "space management",
+        [
+          Alcotest.test_case "decommit" `Quick test_decommit;
+          Alcotest.test_case "two vdisks isolated" `Quick test_two_vdisks_isolated;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "copy-on-write" `Quick test_snapshot_cow;
+          Alcotest.test_case "survives decommit" `Quick test_snapshot_survives_decommit;
+          Alcotest.test_case "two snapshots" `Quick test_two_snapshots;
+          QCheck_alcotest.to_alcotest prop_snapshots_match_model;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+open Simkit
+
+let check_time = Alcotest.(check int)
+
+let test_sleep_ordering () =
+  let trace = ref [] in
+  let record tag = trace := (tag, Sim.now ()) :: !trace in
+  let () =
+    Sim.run (fun () ->
+        Sim.spawn (fun () ->
+            Sim.sleep (Sim.ms 5);
+            record "b");
+        Sim.spawn (fun () ->
+            Sim.sleep (Sim.ms 2);
+            record "a");
+        Sim.sleep (Sim.ms 10);
+        record "main")
+  in
+  match List.rev !trace with
+  | [ ("a", ta); ("b", tb); ("main", tm) ] ->
+    check_time "a at 2ms" (Sim.ms 2) ta;
+    check_time "b at 5ms" (Sim.ms 5) tb;
+    check_time "main at 10ms" (Sim.ms 10) tm
+  | _ -> Alcotest.fail "wrong trace"
+
+let test_run_result () =
+  let v = Sim.run (fun () -> Sim.sleep 100; 42) in
+  Alcotest.(check int) "result" 42 v
+
+let test_same_instant_fifo () =
+  let order = ref [] in
+  Sim.run (fun () ->
+      for i = 1 to 5 do
+        Sim.spawn (fun () -> order := i :: !order)
+      done;
+      Sim.sleep 1);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_ivar () =
+  let sum =
+    Sim.run (fun () ->
+        let iv = Sim.Ivar.create () in
+        let acc = ref 0 in
+        let done_ = Sim.Ivar.create () in
+        for _ = 1 to 3 do
+          Sim.spawn (fun () ->
+              acc := !acc + Sim.Ivar.read iv;
+              if !acc = 21 then Sim.Ivar.fill done_ ())
+        done;
+        Sim.spawn (fun () ->
+            Sim.sleep (Sim.us 7);
+            Sim.Ivar.fill iv 7);
+        Sim.Ivar.read done_;
+        !acc)
+  in
+  Alcotest.(check int) "three readers woken" 21 sum
+
+let test_ivar_double_fill () =
+  Sim.run (fun () ->
+      let iv = Sim.Ivar.create () in
+      Sim.Ivar.fill iv 1;
+      Alcotest.check_raises "double fill" (Invalid_argument "Ivar.fill: already filled")
+        (fun () -> Sim.Ivar.fill iv 2))
+
+let test_mailbox_fifo () =
+  let got =
+    Sim.run (fun () ->
+        let mb = Sim.Mailbox.create () in
+        Sim.spawn (fun () ->
+            for i = 1 to 4 do
+              Sim.sleep (Sim.us 1);
+              Sim.Mailbox.send mb i
+            done);
+        List.init 4 (fun _ -> Sim.Mailbox.recv mb))
+  in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3; 4 ] got
+
+let test_mailbox_blocked_receivers () =
+  let got =
+    Sim.run (fun () ->
+        let mb = Sim.Mailbox.create () in
+        let out = ref [] in
+        for i = 1 to 3 do
+          Sim.spawn (fun () ->
+              let v = Sim.Mailbox.recv mb in
+              out := (i, v) :: !out)
+        done;
+        Sim.sleep (Sim.us 1);
+        List.iter (Sim.Mailbox.send mb) [ 10; 20; 30 ];
+        Sim.sleep (Sim.us 1);
+        List.rev !out)
+  in
+  Alcotest.(check (list (pair int int)))
+    "receivers served in fifo order"
+    [ (1, 10); (2, 20); (3, 30) ]
+    got
+
+let test_resource_serialises () =
+  let finish =
+    Sim.run (fun () ->
+        let r = Sim.Resource.create "disk" in
+        let finished = ref [] in
+        let done_ = Sim.Ivar.create () in
+        for i = 1 to 3 do
+          Sim.spawn (fun () ->
+              Sim.Resource.use r (Sim.ms 10);
+              finished := (i, Sim.now ()) :: !finished;
+              if List.length !finished = 3 then Sim.Ivar.fill done_ ())
+        done;
+        Sim.Ivar.read done_;
+        List.rev !finished)
+  in
+  Alcotest.(check (list (pair int int)))
+    "fifo, 10ms apart"
+    [ (1, Sim.ms 10); (2, Sim.ms 20); (3, Sim.ms 30) ]
+    finish
+
+let test_resource_capacity2 () =
+  let t_end =
+    Sim.run (fun () ->
+        let r = Sim.Resource.create ~capacity:2 "cpu" in
+        let done_ = Sim.Ivar.create () in
+        let left = ref 4 in
+        for _ = 1 to 4 do
+          Sim.spawn (fun () ->
+              Sim.Resource.use r (Sim.ms 10);
+              decr left;
+              if !left = 0 then Sim.Ivar.fill done_ (Sim.now ()))
+        done;
+        Sim.Ivar.read done_)
+  in
+  check_time "4 jobs on 2 servers" (Sim.ms 20) t_end
+
+let test_resource_utilization () =
+  let u =
+    Sim.run (fun () ->
+        let r = Sim.Resource.create "link" in
+        Sim.Resource.use r (Sim.ms 30);
+        Sim.sleep (Sim.ms 30);
+        Sim.Resource.utilization r)
+  in
+  Alcotest.(check (float 0.001)) "50% busy" 0.5 u
+
+let test_deadlock_detected () =
+  Alcotest.check_raises "deadlock"
+    (Sim.Deadlock "Sim.run: main process blocked forever")
+    (fun () -> Sim.run (fun () -> ignore (Sim.Ivar.read (Sim.Ivar.create ()))))
+
+let test_until () =
+  Alcotest.check_raises "timed out" Sim.Timed_out (fun () ->
+      Sim.run ~until:(Sim.ms 1) (fun () -> Sim.sleep (Sim.ms 2)))
+
+let test_timer_cancel () =
+  let fired =
+    Sim.run (fun () ->
+        let fired = ref false in
+        let t = Sim.Timer.after (Sim.ms 5) (fun () -> fired := true) in
+        Sim.sleep (Sim.ms 1);
+        Sim.Timer.cancel t;
+        Sim.sleep (Sim.ms 10);
+        !fired)
+  in
+  Alcotest.(check bool) "cancelled timer must not fire" false fired
+
+let test_timer_fires () =
+  let at =
+    Sim.run (fun () ->
+        let at = ref 0 in
+        let iv = Sim.Ivar.create () in
+        ignore (Sim.Timer.after (Sim.ms 5) (fun () -> at := Sim.now (); Sim.Ivar.fill iv ()));
+        Sim.Ivar.read iv;
+        !at)
+  in
+  check_time "fires at 5ms" (Sim.ms 5) at
+
+let test_condition_broadcast () =
+  let n =
+    Sim.run (fun () ->
+        let c = Sim.Condition.create () in
+        let woken = ref 0 in
+        for _ = 1 to 5 do
+          Sim.spawn (fun () ->
+              Sim.Condition.wait c;
+              incr woken)
+        done;
+        Sim.sleep (Sim.us 1);
+        Sim.Condition.broadcast c;
+        Sim.sleep (Sim.us 1);
+        !woken)
+  in
+  Alcotest.(check int) "all woken" 5 n
+
+let test_determinism () =
+  let observe () =
+    Sim.run ~seed:7 (fun () ->
+        let xs = ref [] in
+        for _ = 1 to 5 do
+          xs := Sim.random_int 1000 :: !xs;
+          Sim.sleep (Sim.random_int 100)
+        done;
+        (!xs, Sim.now ()))
+  in
+  let a = observe () and b = observe () in
+  Alcotest.(check (pair (list int) int)) "same seed, same run" a b
+
+let prop_resource_never_over_capacity =
+  QCheck.Test.make ~name:"resource never exceeds capacity" ~count:50
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(int_range 1 30) (int_range 0 1000)))
+    (fun (cap, durations) ->
+      let max_seen = ref 0 in
+      Sim.run (fun () ->
+          let r = Sim.Resource.create ~capacity:cap "r" in
+          let active = ref 0 in
+          let pending = ref (List.length durations) in
+          let done_ = Sim.Ivar.create () in
+          List.iter
+            (fun d ->
+              Sim.spawn (fun () ->
+                  Sim.sleep (Sim.random_int 50);
+                  Sim.Resource.acquire r;
+                  incr active;
+                  if !active > !max_seen then max_seen := !active;
+                  Sim.sleep d;
+                  decr active;
+                  Sim.Resource.release r;
+                  decr pending;
+                  if !pending = 0 then Sim.Ivar.fill done_ ()))
+            durations;
+          if !pending = 0 then () else Sim.Ivar.read done_);
+      !max_seen <= cap)
+
+let () =
+  Alcotest.run "simkit"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+          Alcotest.test_case "run result" `Quick test_run_result;
+          Alcotest.test_case "same-instant fifo" `Quick test_same_instant_fifo;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "until horizon" `Quick test_until;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "broadcast read" `Quick test_ivar;
+          Alcotest.test_case "double fill rejected" `Quick test_ivar_double_fill;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo messages" `Quick test_mailbox_fifo;
+          Alcotest.test_case "fifo receivers" `Quick test_mailbox_blocked_receivers;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "serialises" `Quick test_resource_serialises;
+          Alcotest.test_case "capacity 2" `Quick test_resource_capacity2;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          QCheck_alcotest.to_alcotest prop_resource_never_over_capacity;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "cancel" `Quick test_timer_cancel;
+          Alcotest.test_case "fires" `Quick test_timer_fires;
+        ] );
+      ( "condition",
+        [ Alcotest.test_case "broadcast" `Quick test_condition_broadcast ] );
+    ]

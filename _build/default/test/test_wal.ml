@@ -1,0 +1,148 @@
+open Simkit
+open Frangipani
+
+(* A private vdisk for log experiments. *)
+let mkvd () =
+  let net = Cluster.Net.create () in
+  let tb = Petal.Testbed.build ~net ~nservers:3 ~ndisks:2 () in
+  let h = Cluster.Host.create "walclient" in
+  let rpc = Cluster.Rpc.create (Cluster.Net.attach net h) in
+  let c = Petal.Testbed.client tb ~rpc in
+  Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2)
+
+let diff addr doff data version = { Wal.addr; doff; data; version }
+
+let d i =
+  diff
+    (Layout.inode_addr i)
+    8
+    (Bytes.of_string (Printf.sprintf "record-%04d" i))
+    (i + 1)
+
+let test_roundtrip () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w = Wal.create ~vd ~slot:3 ~synchronous:false ~lease_ok:(fun () -> true) in
+      for i = 0 to 9 do
+        ignore (Wal.append w [ d i ])
+      done;
+      Wal.flush w;
+      let diffs = Wal.scan vd ~slot:3 in
+      Alcotest.(check int) "all diffs recovered" 10 (List.length diffs);
+      List.iteri
+        (fun i (x : Wal.diff) ->
+          Alcotest.(check int) "order" (Layout.inode_addr i) x.Wal.addr;
+          Alcotest.(check string) "payload"
+            (Printf.sprintf "record-%04d" i)
+            (Bytes.to_string x.Wal.data))
+        diffs)
+
+let test_unflushed_not_durable () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w = Wal.create ~vd ~slot:0 ~synchronous:false ~lease_ok:(fun () -> true) in
+      ignore (Wal.append w [ d 1 ]);
+      Alcotest.(check int) "nothing on disk yet" 0 (List.length (Wal.scan vd ~slot:0));
+      Wal.discard_volatile w;
+      Wal.flush w;
+      Alcotest.(check int) "discarded tail lost" 0 (List.length (Wal.scan vd ~slot:0)))
+
+let test_synchronous_mode () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w = Wal.create ~vd ~slot:1 ~synchronous:true ~lease_ok:(fun () -> true) in
+      ignore (Wal.append w [ d 7 ]);
+      (* Durable immediately, no explicit flush. *)
+      Alcotest.(check int) "already durable" 1 (List.length (Wal.scan vd ~slot:1)))
+
+let test_ensure_flushed_barrier () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w = Wal.create ~vd ~slot:2 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let r1 = Wal.append w [ d 1 ] in
+      let r2 = Wal.append w [ d 2 ] in
+      Wal.ensure_flushed w r1;
+      (* r2 was grouped into the same flush (group commit). *)
+      Alcotest.(check bool) "group commit" true (r2 <= Wal.last_rid w);
+      Alcotest.(check int) "both durable" 2 (List.length (Wal.scan vd ~slot:2)))
+
+let test_wraparound_keeps_window () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w = Wal.create ~vd ~slot:4 ~synchronous:false ~lease_ok:(fun () -> true) in
+      (* Push far more than 128 KB of records through: the log wraps
+         several times; scan must return a consistent recent window,
+         newest record always included. *)
+      let n = 3000 in
+      for i = 0 to n - 1 do
+        ignore (Wal.append w [ d i ]);
+        if i mod 50 = 0 then Wal.flush w
+      done;
+      Wal.flush w;
+      let diffs = Wal.scan vd ~slot:4 in
+      Alcotest.(check bool) "non-empty window" true (List.length diffs > 100);
+      (* Monotone order, ending at the newest record. *)
+      let versions = List.map (fun (x : Wal.diff) -> x.Wal.version) diffs in
+      let sorted = List.sort compare versions in
+      Alcotest.(check bool) "in order" true (versions = sorted);
+      Alcotest.(check int) "newest present" n (List.nth versions (List.length versions - 1)))
+
+let test_isolated_slots () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w5 = Wal.create ~vd ~slot:5 ~synchronous:true ~lease_ok:(fun () -> true) in
+      let w6 = Wal.create ~vd ~slot:6 ~synchronous:true ~lease_ok:(fun () -> true) in
+      ignore (Wal.append w5 [ d 100 ]);
+      ignore (Wal.append w6 [ d 200 ]);
+      Alcotest.(check int) "slot5" 1 (List.length (Wal.scan vd ~slot:5));
+      Alcotest.(check int) "slot6" 1 (List.length (Wal.scan vd ~slot:6));
+      Alcotest.(check int) "slot7 empty" 0 (List.length (Wal.scan vd ~slot:7)))
+
+let test_lease_check_blocks_writes () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let ok = ref true in
+      let w = Wal.create ~vd ~slot:8 ~synchronous:false ~lease_ok:(fun () -> !ok) in
+      ignore (Wal.append w [ d 1 ]);
+      ok := false;
+      (try
+         Wal.flush w;
+         Alcotest.fail "expected EIO"
+       with Errors.Error Errors.Eio -> ()))
+
+let prop_scan_returns_complete_prefix_records =
+  QCheck.Test.make ~name:"random record sizes survive the sector packer" ~count:25
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_range 1 400))
+    (fun sizes ->
+      Sim.run (fun () ->
+          let vd = mkvd () in
+          let w = Wal.create ~vd ~slot:9 ~synchronous:false ~lease_ok:(fun () -> true) in
+          List.iteri
+            (fun i sz ->
+              ignore
+                (Wal.append w
+                   [ diff (Layout.inode_addr i) 8 (Bytes.make (min sz 500) 'p') (i + 1) ]))
+            sizes;
+          Wal.flush w;
+          let diffs = Wal.scan vd ~slot:9 in
+          List.length diffs = List.length sizes
+          && List.for_all2
+               (fun (x : Wal.diff) sz -> Bytes.length x.Wal.data = min sz 500)
+               diffs sizes))
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "unflushed not durable" `Quick test_unflushed_not_durable;
+          Alcotest.test_case "synchronous mode" `Quick test_synchronous_mode;
+          Alcotest.test_case "ensure_flushed barrier" `Quick test_ensure_flushed_barrier;
+          Alcotest.test_case "wraparound window" `Quick test_wraparound_keeps_window;
+          Alcotest.test_case "isolated slots" `Quick test_isolated_slots;
+          Alcotest.test_case "lease check blocks writes" `Quick
+            test_lease_check_blocks_writes;
+          QCheck_alcotest.to_alcotest prop_scan_returns_complete_prefix_records;
+        ] );
+    ]
