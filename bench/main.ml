@@ -414,6 +414,131 @@ let ablation () =
     (local_t *. 1000.) (remote_t *. 1000.)
     ((remote_t /. local_t -. 1.0) *. 100.)
 
+(* --- BENCH_1.json: machine-readable perf trajectory -------------------------------- *)
+
+(* Every PR appends a BENCH_<n>.json so later PRs can diff throughput
+   and latency percentiles against this one. Latencies are simulated
+   milliseconds; throughput is MB/s of simulated time. *)
+
+let percentile_ms samples p =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let ms_of t = Sim.to_sec t *. 1000.0
+
+let json_bench () =
+  print_endline hrule;
+  print_endline "BENCH_1.json: throughput + latency percentiles per workload";
+  let results : (string * float * int * float * float) list ref = ref [] in
+  let record name ~bytes ~elapsed lats =
+    let thr =
+      if elapsed > 0 then float_of_int bytes /. 1e6 /. Sim.to_sec elapsed else 0.0
+    in
+    results :=
+      (name, thr, List.length lats, percentile_ms lats 0.5, percentile_ms lats 0.99)
+      :: !results
+  in
+  (* Frangipani large-file sequential write + read, per-64KB-op latency. *)
+  Sim.run (fun () ->
+      let v = snd (frangipani_vfs ()) in
+      let unit_b = 65536 in
+      let units = 16 * mb / unit_b in
+      let data = Bytes.make unit_b 'J' in
+      let inum = v.V.create ~dir:v.V.root "jbig" in
+      let lats = ref [] in
+      let t0 = Sim.now () in
+      for i = 0 to units - 1 do
+        let s = Sim.now () in
+        v.V.write inum ~off:(i * unit_b) data;
+        lats := ms_of (Sim.now () - s) :: !lats
+      done;
+      v.V.sync ();
+      record "largefile_write_16mb" ~bytes:(units * unit_b)
+        ~elapsed:(Sim.now () - t0) !lats;
+      v.V.drop_caches ();
+      let lats = ref [] in
+      let t0 = Sim.now () in
+      for i = 0 to units - 1 do
+        let s = Sim.now () in
+        ignore (v.V.read inum ~off:(i * unit_b) ~len:unit_b);
+        lats := ms_of (Sim.now () - s) :: !lats
+      done;
+      record "largefile_read_16mb" ~bytes:(units * unit_b)
+        ~elapsed:(Sim.now () - t0) !lats);
+  (* 30 parallel uncached 8 KB reads (paper §9.2 aside). *)
+  Sim.run (fun () ->
+      let v = snd (frangipani_vfs ()) in
+      let files =
+        List.init 30 (fun i ->
+            let inum = v.V.create ~dir:v.V.root (Printf.sprintf "js%d" i) in
+            v.V.write inum ~off:0 (Bytes.make 8192 's');
+            inum)
+      in
+      v.V.sync ();
+      v.V.drop_caches ();
+      let lats = ref [] in
+      let t0 = Sim.now () in
+      let pending = ref (List.length files) in
+      let all = Sim.Ivar.create () in
+      List.iter
+        (fun inum ->
+          Sim.spawn (fun () ->
+              let s = Sim.now () in
+              ignore (v.V.read inum ~off:0 ~len:8192);
+              lats := ms_of (Sim.now () - s) :: !lats;
+              decr pending;
+              if !pending = 0 then Sim.Ivar.fill all ()))
+        files;
+      Sim.Ivar.read all;
+      record "small_reads_30x8kb" ~bytes:(30 * 8192) ~elapsed:(Sim.now () - t0) !lats);
+  (* Raw Petal write latency: one chunk vs a 3-chunk scatter. The
+     acceptance check for the async client is the ratio of these two —
+     a multi-chunk write should cost ~1 round-trip, not N. *)
+  let petal_write name ~reps ~len =
+    Sim.run (fun () ->
+        let net = Cluster.Net.create () in
+        let tb = Petal.Testbed.build ~net ~nservers:4 ~ndisks:3 () in
+        let ch = Cluster.Host.create "jclient" in
+        let rpc = Cluster.Rpc.create (Cluster.Net.attach net ch) in
+        let c = Petal.Testbed.client tb ~rpc in
+        let vd = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
+        let data = Bytes.make len 'p' in
+        let lats = ref [] in
+        let t0 = Sim.now () in
+        for i = 0 to reps - 1 do
+          let s = Sim.now () in
+          Petal.Client.write vd ~off:(i * 4 * Petal.Protocol.chunk_bytes) data;
+          lats := ms_of (Sim.now () - s) :: !lats
+        done;
+        record name ~bytes:(reps * len) ~elapsed:(Sim.now () - t0) !lats)
+  in
+  petal_write "petal_write_64kb_1chunk" ~reps:20 ~len:Petal.Protocol.chunk_bytes;
+  petal_write "petal_write_192kb_3chunks" ~reps:20 ~len:(3 * Petal.Protocol.chunk_bytes);
+  let rows = List.rev !results in
+  let oc = open_out "BENCH_1.json" in
+  Printf.fprintf oc "{\n  \"pr\": 1,\n  \"workloads\": {\n";
+  List.iteri
+    (fun i (name, thr, ops, p50, p99) ->
+      Printf.fprintf oc
+        "    %S: { \"throughput_mb_per_s\": %.3f, \"ops\": %d, \"p50_ms\": %.3f, \
+         \"p99_ms\": %.3f }%s\n"
+        name thr ops p50 p99
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  List.iter
+    (fun (name, thr, ops, p50, p99) ->
+      Printf.printf "%-28s %8.1f MB/s %5d ops  p50 %8.3f ms  p99 %8.3f ms\n" name
+        thr ops p50 p99)
+    rows;
+  print_endline "wrote BENCH_1.json"
+
 (* --- Bechamel microbenchmarks ------------------------------------------------------ *)
 
 let micro () =
@@ -490,6 +615,7 @@ let experiments =
     ("fig9", fig9);
     ("ww", ww);
     ("ablation", ablation);
+    ("json", json_bench);
     ("micro", micro);
   ]
 

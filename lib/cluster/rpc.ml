@@ -73,7 +73,7 @@ let create port =
   Sim.spawn ~name:(Host.name (Net.host port) ^ ".rpc") (dispatcher t);
   t
 
-let call t ~dst ?(timeout = Sim.sec 1.0) ~size body =
+let call_async t ~dst ?(timeout = Sim.sec 1.0) ~size body =
   Host.check (host t);
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
@@ -86,6 +86,9 @@ let call t ~dst ?(timeout = Sim.sec 1.0) ~size body =
            Sim.Ivar.fill iv (Error `Timeout)
          end));
   Net.send t.port ~dst ~size (Req { id; body });
-  Sim.Ivar.read iv
+  iv
+
+let call t ~dst ?timeout ~size body =
+  Sim.Ivar.read (call_async t ~dst ?timeout ~size body)
 
 let oneway t ~dst ~size body = Net.send t.port ~dst ~size (Oneway body)

@@ -32,6 +32,20 @@ val on_oneway : t -> (src:Net.addr -> Net.payload -> unit) -> unit
 (** Subscribe to non-RPC datagrams (heartbeats, asynchronous
     notifications). Callbacks run in a fresh process per message. *)
 
+val call_async :
+  t ->
+  dst:Net.addr ->
+  ?timeout:Simkit.Sim.time ->
+  size:int ->
+  Net.payload ->
+  (Net.payload, error) result Simkit.Sim.Ivar.t
+(** Issue a request of [size] bytes and return immediately (after the
+    sender-side protocol-stack cost) with an ivar that is filled with
+    the reply, or with [`Timeout] once the timeout (default 1 s of
+    simulated time) expires. Callers can keep many requests
+    outstanding and wait once — the submit/complete split the whole
+    block-I/O path is built on. *)
+
 val call :
   t ->
   dst:Net.addr ->
@@ -39,8 +53,7 @@ val call :
   size:int ->
   Net.payload ->
   (Net.payload, error) result
-(** Issue a request of [size] bytes and block for the reply. Default
-    timeout 1 s of simulated time. *)
+(** [call_async] followed by a blocking read of the reply. *)
 
 val oneway : t -> dst:Net.addr -> size:int -> Net.payload -> unit
 (** Fire-and-forget datagram through this endpoint. *)

@@ -148,9 +148,14 @@ let update_data t ~lock ~addr ~len ~off ~bytes:data =
 let write_data t ~lock ~addr ~bytes:data =
   match Hashtbl.find_opt t.tbl addr with
   | Some e ->
+    t.hits <- t.hits + 1;
     Bytes.blit data 0 e.data 0 (Bytes.length data);
     mark_dirty t e
   | None ->
+    (* A full-block overwrite needs no fetch, but it is still an
+       entry-creation path: count the miss so {!stats} agrees across
+       paths. *)
+    t.misses <- t.misses + 1;
     let e = { addr; data = Bytes.copy data; dirty = false; gen = 0; rid = 0; pins = 0; flushing = false; lock } in
     mark_dirty t e;
     Hashtbl.replace t.tbl addr e;
@@ -165,11 +170,13 @@ let present t addr = Hashtbl.mem t.tbl addr || Hashtbl.mem t.inflight addr
    fetch through {!entry}. *)
 let fill_range t ~lock ~addr ~len ~granule =
   if len > 0 then begin
-    let wanted =
-      List.filter
-        (fun a -> not (present t a))
-        (List.init (len / granule) (fun i -> addr + (i * granule)))
-    in
+    let requested = List.init (len / granule) (fun i -> addr + (i * granule)) in
+    let wanted = List.filter (fun a -> not (present t a)) requested in
+    (* Granules already cached (or being fetched) are hits of the
+       read-ahead; the fetched ones are misses — counted here so the
+       ratio is consistent with the demand-fetch path. *)
+    t.hits <- t.hits + (List.length requested - List.length wanted);
+    t.misses <- t.misses + List.length wanted;
     if wanted <> [] then begin
       let ivs = List.map (fun a -> (a, Sim.Ivar.create ())) wanted in
       List.iter (fun (a, iv) -> Hashtbl.replace t.inflight a iv) ivs;
@@ -180,8 +187,10 @@ let fill_range t ~lock ~addr ~len ~granule =
             Sim.Ivar.fill iv ())
           ivs
       in
+      (* One submission for the whole range: the Petal client fans
+         the chunk pieces out concurrently. *)
       let data =
-        try Petal.Client.read t.vd ~off:addr ~len
+        try Petal.Client.await (Petal.Client.read_async t.vd ~off:addr ~len)
         with ex ->
           finish ();
           raise ex
@@ -189,7 +198,6 @@ let fill_range t ~lock ~addr ~len ~granule =
       List.iter
         (fun (a, _) ->
           if not (Hashtbl.mem t.tbl a) then begin
-            t.misses <- t.misses + 1;
             let e =
               { addr = a; data = Bytes.sub data (a - addr) granule; dirty = false;
                 gen = 0; rid = 0; pins = 0; flushing = false; lock }
@@ -204,9 +212,49 @@ let fill_range t ~lock ~addr ~len ~granule =
 
 (* Write a set of dirty entries back to Petal: log records first
    (write-ahead), then the entries clustered into naturally-aligned
-   runs of up to 64 KB (§9.2) issued in parallel. *)
-let flush_parallelism = 16
+   runs of up to 64 KB (§9.2), all runs submitted asynchronously
+   before waiting once. Backpressure is the Petal client's bounded
+   in-flight pool, so submission itself throttles when the pipe is
+   full. *)
 let max_run = 65536
+
+(* Cluster address-sorted dirty entries into contiguous runs that do
+   not cross a naturally-aligned 64 KB boundary. *)
+let group_runs dirty =
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | (last :: _ as run) :: rest
+        when last.addr + Bytes.length last.data = e.addr
+             && e.addr / max_run = last.addr / max_run ->
+        (e :: run) :: rest
+      | _ -> [ e ] :: acc)
+    [] dirty
+  |> List.rev_map List.rev
+
+(* Submit one async Petal write per run, then wait for every
+   completion. As each run lands, entries whose generation is
+   unchanged become clean; [on_run_done] runs per landed run (even on
+   failure). The first failure is re-raised after all runs settle. *)
+let write_runs t runs ~on_run_done =
+  let pending = ref (List.length runs) in
+  let all = Sim.Ivar.create () in
+  let failed = ref None in
+  List.iter
+    (fun run ->
+      let gens = List.map (fun e -> (e, e.gen)) run in
+      let data = Bytes.concat Bytes.empty (List.map (fun e -> e.data) run) in
+      let h = Petal.Client.write_async t.vd ~off:(List.hd run).addr data in
+      Sim.spawn (fun () ->
+          (match Sim.Ivar.read h with
+          | Ok () -> List.iter (fun (e, g) -> if e.gen = g then mark_clean t e) gens
+          | Error ex -> if !failed = None then failed := Some ex);
+          on_run_done run;
+          decr pending;
+          if !pending = 0 then Sim.Ivar.fill all ()))
+    runs;
+  if runs <> [] then Sim.Ivar.read all;
+  match !failed with Some ex -> raise ex | None -> ()
 
 let flush_entries t entries =
   let candidates =
@@ -221,42 +269,11 @@ let flush_entries t entries =
     let max_rid = List.fold_left (fun acc e -> max acc e.rid) 0 dirty in
     if max_rid > 0 then Wal.ensure_flushed t.wal max_rid;
     if not (t.lease_ok ()) then Errors.fail Errors.Eio;
-    (* Group into contiguous runs. *)
-    let runs =
-      List.fold_left
-        (fun acc e ->
-          match acc with
-          | (last :: _ as run) :: rest
-            when last.addr + Bytes.length last.data = e.addr
-                 && e.addr / max_run = last.addr / max_run ->
-            (e :: run) :: rest
-          | _ -> [ e ] :: acc)
-        [] dirty
-      |> List.rev_map List.rev
-    in
+    let runs = group_runs dirty in
     List.iter (fun e -> e.flushing <- true) dirty;
-    let slots = Sim.Resource.create ~capacity:flush_parallelism "cache.flush" in
-    let pending = ref (List.length runs) in
-    let all = Sim.Ivar.create () in
-    let failed = ref None in
-    List.iter
-      (fun run ->
-        Sim.spawn (fun () ->
-            Sim.Resource.acquire slots;
-            (try
-               let gens = List.map (fun e -> (e, e.gen)) run in
-               let data = Bytes.concat Bytes.empty (List.map (fun e -> e.data) run) in
-               Petal.Client.write t.vd ~off:(List.hd run).addr data;
-               List.iter (fun (e, g) -> if e.gen = g then mark_clean t e) gens
-             with ex -> failed := Some ex);
-            List.iter (fun e -> e.flushing <- false) run;
-            Sim.Condition.broadcast t.flush_done;
-            Sim.Resource.release slots;
-            decr pending;
-            if !pending = 0 then Sim.Ivar.fill all ()))
-      runs;
-    Sim.Ivar.read all;
-    match !failed with Some ex -> raise ex | None -> ()
+    write_runs t runs ~on_run_done:(fun run ->
+        List.iter (fun e -> e.flushing <- false) run;
+        Sim.Condition.broadcast t.flush_done)
   end;
   (* Durability barrier: also wait out writes another flush started. *)
   List.iter
@@ -297,22 +314,19 @@ let flush_all t =
 
 (* WAL-reclaim path: these records are already durable, so no
    ensure_flushed (which would recurse into the in-progress log
-   flush). *)
+   flush). Clustered into runs and submitted together like the main
+   flush path, instead of one serial write per entry. *)
 let flush_upto_rid t bound =
   let entries =
     Hashtbl.fold
       (fun _ e acc -> if e.dirty && e.rid > 0 && e.rid <= bound then e :: acc else acc)
       t.tbl []
+    |> List.sort_uniq (fun a b -> compare a.addr b.addr)
   in
-  List.iter
-    (fun e ->
-      if e.dirty then begin
-        if not (t.lease_ok ()) then Errors.fail Errors.Eio;
-        let g = e.gen in
-        Petal.Client.write t.vd ~off:e.addr e.data;
-        if e.gen = g then mark_clean t e
-      end)
-    entries
+  if entries <> [] then begin
+    if not (t.lease_ok ()) then Errors.fail Errors.Eio;
+    write_runs t (group_runs entries) ~on_run_done:(fun _ -> ())
+  end
 
 let drop_clean t =
   let doomed =

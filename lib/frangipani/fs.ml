@@ -29,7 +29,6 @@ let is_poisoned (ctx : t) = ctx.Ctx.poisoned
 (* --- formatting --------------------------------------------------------- *)
 
 let format vd =
-  Petal.Client.write vd ~off:Layout.superblock_addr (Ondisk.encode_superblock ());
   (* Root inode: an empty directory, version 1. *)
   let sector = Bytes.make Layout.inode_size '\000' in
   Codec.put_int sector 0 1;
@@ -38,12 +37,19 @@ let format vd =
   in
   Bytes.blit (Ondisk.encode_inode root_ino) 0 sector Ondisk.off_itype
     (Layout.inode_size - Ondisk.off_itype);
-  Petal.Client.write vd ~off:(Layout.inode_addr root) sector;
   (* Mark inode 0 allocated in the bitmap. *)
   let bsec = Bytes.make Layout.sector '\000' in
   Codec.put_int bsec 0 1;
   Bytes.set bsec 8 '\001';
-  Petal.Client.write vd ~off:(Layout.bit_sector Layout.Inode_pool 0) bsec
+  (* The three formatting writes are independent: submit them all,
+     then wait once. *)
+  List.iter Petal.Client.await
+    [
+      Petal.Client.write_async vd ~off:Layout.superblock_addr
+        (Ondisk.encode_superblock ());
+      Petal.Client.write_async vd ~off:(Layout.inode_addr root) sector;
+      Petal.Client.write_async vd ~off:(Layout.bit_sector Layout.Inode_pool 0) bsec;
+    ]
 
 (* --- lock helpers -------------------------------------------------------- *)
 
@@ -488,8 +494,13 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
        it empty (§7: a restarted server begins with an empty log). *)
     Clerk.acquire clerk ~lock:(Lockns.log_lock slot) Types.W;
     let zeros = Bytes.make (Layout.log_bytes / 2) '\000' in
-    Petal.Client.write vd ~off:(Layout.log_addr ~slot) zeros;
-    Petal.Client.write vd ~off:(Layout.log_addr ~slot + (Layout.log_bytes / 2)) zeros
+    List.iter Petal.Client.await
+      [
+        Petal.Client.write_async vd ~off:(Layout.log_addr ~slot) zeros;
+        Petal.Client.write_async vd
+          ~off:(Layout.log_addr ~slot + (Layout.log_bytes / 2))
+          zeros;
+      ]
   end;
   Cluster.Host.on_crash host (fun () ->
       Cache.discard_volatile cache;

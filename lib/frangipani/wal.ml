@@ -140,20 +140,23 @@ let rec flush t =
         t.rid_at_lsn <- List.filter (fun (l, _) -> l > upto) t.rid_at_lsn
       end;
       let sectors = List.init n (fun i -> build (!s + i)) in
-      (* Split at the circular-buffer wrap and write each run as one
-         Petal write. *)
-      let rec write_runs = function
-        | [] -> ()
+      (* Split at the circular-buffer wrap, submit each run as one
+         async Petal write, and wait for all of them once — a group
+         commit that wraps pays one round-trip, not two. *)
+      let rec submit_runs acc = function
+        | [] -> List.rev acc
         | (lsn0, _) :: _ as rest ->
           let pos0 = (lsn0 - 1) mod Layout.log_sectors in
           let fit = min (List.length rest) (Layout.log_sectors - pos0) in
           let run = List.filteri (fun i _ -> i < fit) rest in
           let tail = List.filteri (fun i _ -> i >= fit) rest in
-          Petal.Client.write t.vd ~off:(sector_addr t lsn0)
-            (Bytes.concat Bytes.empty (List.map snd run));
-          write_runs tail
+          let h =
+            Petal.Client.write_async t.vd ~off:(sector_addr t lsn0)
+              (Bytes.concat Bytes.empty (List.map snd run))
+          in
+          submit_runs (h :: acc) tail
       in
-      write_runs sectors;
+      List.iter Petal.Client.await (submit_runs [] sectors);
       (* Account durability per written sector. *)
       List.iter
         (fun (lsn, _) ->

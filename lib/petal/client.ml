@@ -6,6 +6,9 @@ type t = {
   rpc : Rpc.t;
   servers : Net.addr array;
   timeout : Sim.time;
+  inflight : Sim.Resource.t;
+      (* bounds outstanding chunk pieces: submission blocks here, so
+         backpressure lives at the driver, not in every caller *)
   mutable write_guard : unit -> int option;
       (* expiration timestamp attached to every write (§6 fix) *)
   mutable write_ops : int;
@@ -22,11 +25,21 @@ type vdisk = {
   frozen : int option;
 }
 
+type 'a handle = ('a, exn) result Sim.Ivar.t
+
+let await h = match Sim.Ivar.read h with Ok v -> v | Error ex -> raise ex
+
+(* The paper keeps "several megabytes" of write-behind in flight
+   (§4); 64 pieces of up to 64 KB each is 4 MB. *)
+let max_inflight_pieces = 64
+
 (* The per-replica timeout must comfortably exceed a queued raw-disk
    write burst; failover latency is dominated by it, so it trades
    responsiveness against spurious degradation. *)
 let connect ~rpc ~servers =
-  { rpc; servers; timeout = Sim.sec 2.0; write_guard = (fun () -> None);
+  { rpc; servers; timeout = Sim.sec 2.0;
+    inflight = Sim.Resource.create ~capacity:max_inflight_pieces "petal.inflight";
+    write_guard = (fun () -> None);
     write_ops = 0; write_ns = 0; read_ops = 0; read_ns = 0 }
 
 let set_write_guard v f = v.c.write_guard <- f
@@ -38,20 +51,79 @@ let op_stats v =
 let primary_of t ~root ~chunk = (root + chunk) mod Array.length t.servers
 let secondary_of t ~root ~chunk = (primary_of t ~root ~chunk + 1) mod Array.length t.servers
 
-(* Try the primary, then (for replicated disks) the replica. *)
-let call_replicas t ~root ~chunk ~nrep ~size req_of =
-  let try_one dst req =
-    match Rpc.call t.rpc ~dst:t.servers.(dst) ~timeout:t.timeout ~size req with
-    | Ok reply -> Some reply
-    | Error `Timeout -> None
+(* A scatter-gather operation: every chunk piece is submitted up
+   front (bounded by the in-flight pool), then a waiter process per
+   piece drives its own primary→secondary failover, so a slow or dead
+   replica never stalls sibling pieces. The caller's handle fills
+   once, with the first failure or with the gathered result. *)
+type 'a gather = {
+  handle : 'a handle;
+  result : unit -> 'a;
+  mutable remaining : int;
+  started : Sim.time;
+  account : Sim.time -> unit;
+}
+
+let gather_create ~npieces ~result ~account =
+  { handle = Sim.Ivar.create (); result; remaining = npieces;
+    started = Sim.now (); account }
+
+let gather_fill g r =
+  if not (Sim.Ivar.is_filled g.handle) then begin
+    g.account (Sim.now () - g.started);
+    Sim.Ivar.fill g.handle r
+  end
+
+let gather_piece_done g =
+  g.remaining <- g.remaining - 1;
+  if g.remaining = 0 then gather_fill g (Ok (g.result ()))
+
+(* Submit one piece: fire the primary RPC from the submitting process
+   (so submission order is preserved and backpressure is felt there),
+   then hand completion to a fresh process. [on_reply] interprets the
+   server's answer, raising to fail the whole operation. *)
+let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
+  Sim.Resource.acquire t.inflight;
+  let primary =
+    try
+      Rpc.call_async t.rpc ~dst:t.servers.(primary_of t ~root ~chunk)
+        ~timeout:t.timeout ~size (req_of ~solo:false)
+    with ex ->
+      Sim.Resource.release t.inflight;
+      raise ex
   in
-  match try_one (primary_of t ~root ~chunk) (req_of ~solo:false) with
-  | Some r -> r
-  | None when nrep > 1 -> (
-    match try_one (secondary_of t ~root ~chunk) (req_of ~solo:true) with
-    | Some r -> r
-    | None -> raise (Unavailable "petal: no replica reachable"))
-  | None -> raise (Unavailable "petal: server unreachable")
+  Sim.spawn (fun () ->
+      match
+        match Sim.Ivar.read primary with
+        | Ok r -> Some r
+        | Error `Timeout ->
+          if nrep > 1 then
+            match
+              Rpc.call t.rpc ~dst:t.servers.(secondary_of t ~root ~chunk)
+                ~timeout:t.timeout ~size (req_of ~solo:true)
+            with
+            | Ok r -> Some r
+            | Error `Timeout -> None
+          else None
+      with
+      | exception ex ->
+        (* Our own host died mid-failover: fail the op, don't abort
+           the simulation from this helper process. *)
+        Sim.Resource.release t.inflight;
+        gather_fill g (Error ex)
+      | reply -> (
+        Sim.Resource.release t.inflight;
+        match reply with
+        | None ->
+          let msg =
+            if nrep > 1 then "petal: no replica reachable"
+            else "petal: server unreachable"
+          in
+          gather_fill g (Error (Unavailable msg))
+        | Some r -> (
+          match on_reply r with
+          | () -> gather_piece_done g
+          | exception ex -> gather_fill g (Error ex))))
 
 let mgmt t cmd =
   let n = Array.length t.servers in
@@ -107,70 +179,100 @@ let pieces ~off ~len =
 
 let sel v = match v.frozen with Some e -> At e | None -> Current
 
-let read v ~off ~len =
+let read_async v ~off ~len =
   check_aligned ~off ~len;
-  let t0 = Sim.now () in
   v.c.read_ops <- v.c.read_ops + 1;
-  Fun.protect ~finally:(fun () -> v.c.read_ns <- v.c.read_ns + (Sim.now () - t0))
-  @@ fun () ->
   let buf = Bytes.create len in
-  let pos = ref 0 in
-  List.iter
-    (fun (chunk, within, n) ->
-      let reply =
-        call_replicas v.c ~root:v.root ~chunk ~nrep:v.nrep ~size:read_req_size
-          (fun ~solo:_ ->
-            Read_req { root = v.root; chunk; within; len = n; sel = sel v })
-      in
-      (match reply with
-      | Read_ok data -> Bytes.blit data 0 buf !pos n
-      | _ -> failwith "petal: bad read reply");
-      pos := !pos + n)
-    (pieces ~off ~len);
-  buf
+  let ps = pieces ~off ~len in
+  let g =
+    gather_create ~npieces:(List.length ps)
+      ~result:(fun () -> buf)
+      ~account:(fun dt -> v.c.read_ns <- v.c.read_ns + dt)
+  in
+  if ps = [] then gather_fill g (Ok buf)
+  else begin
+    let pos = ref 0 in
+    try
+      List.iter
+        (fun (chunk, within, n) ->
+          let bpos = !pos in
+          pos := !pos + n;
+          submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:read_req_size
+            ~req_of:(fun ~solo:_ ->
+              Read_req { root = v.root; chunk; within; len = n; sel = sel v })
+            ~on_reply:(function
+              | Read_ok data -> Bytes.blit data 0 buf bpos n
+              | _ -> failwith "petal: bad read reply"))
+        ps
+    with ex -> gather_fill g (Error ex)
+  end;
+  g.handle
 
-let write v ~off data =
+let write_async v ~off data =
   if is_snapshot v then raise Read_only;
   let len = Bytes.length data in
   check_aligned ~off ~len;
-  let t0 = Sim.now () in
   v.c.write_ops <- v.c.write_ops + 1;
-  Fun.protect ~finally:(fun () -> v.c.write_ns <- v.c.write_ns + (Sim.now () - t0))
-  @@ fun () ->
-  let pos = ref 0 in
-  List.iter
-    (fun (chunk, within, n) ->
-      let piece = Bytes.sub data !pos n in
-      let expires = v.c.write_guard () in
-      let reply =
-        call_replicas v.c ~root:v.root ~chunk ~nrep:v.nrep
-          ~size:(write_req_size n) (fun ~solo ->
-            Write_req { root = v.root; chunk; within; data = piece; solo; expires })
-      in
-      (match reply with
-      | Write_ok -> ()
-      | Perr "expired lease timestamp" -> raise (Stale_write "expired lease timestamp")
-      | Perr e -> failwith ("petal: " ^ e)
-      | _ -> failwith "petal: bad write reply");
-      pos := !pos + n)
-    (pieces ~off ~len)
+  let ps = pieces ~off ~len in
+  let g =
+    gather_create ~npieces:(List.length ps)
+      ~result:(fun () -> ())
+      ~account:(fun dt -> v.c.write_ns <- v.c.write_ns + dt)
+  in
+  if ps = [] then gather_fill g (Ok ())
+  else begin
+    let pos = ref 0 in
+    try
+      List.iter
+        (fun (chunk, within, n) ->
+          let piece = Bytes.sub data !pos n in
+          pos := !pos + n;
+          let expires = v.c.write_guard () in
+          submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep
+            ~size:(write_req_size n)
+            ~req_of:(fun ~solo ->
+              Write_req { root = v.root; chunk; within; data = piece; solo; expires })
+            ~on_reply:(function
+              | Write_ok -> ()
+              | Perr "expired lease timestamp" ->
+                raise (Stale_write "expired lease timestamp")
+              | Perr e -> failwith ("petal: " ^ e)
+              | _ -> failwith "petal: bad write reply"))
+        ps
+    with ex -> gather_fill g (Error ex)
+  end;
+  g.handle
 
-let decommit v ~off ~len =
+let decommit_async v ~off ~len =
   if is_snapshot v then raise Read_only;
   check_aligned ~off ~len;
   if off mod chunk_bytes <> 0 || len mod chunk_bytes <> 0 then
     invalid_arg "petal: decommit must be chunk-aligned";
-  List.iter
-    (fun (chunk, _, _) ->
-      let reply =
-        call_replicas v.c ~root:v.root ~chunk ~nrep:v.nrep ~size:small
-          (fun ~solo ->
-            Decommit_req { root = v.root; chunk; forward = not solo })
-      in
-      match reply with
-      | Decommit_ok -> ()
-      | _ -> failwith "petal: bad decommit reply")
-    (pieces ~off ~len)
+  let ps = pieces ~off ~len in
+  let g =
+    gather_create ~npieces:(List.length ps)
+      ~result:(fun () -> ())
+      ~account:(fun _ -> ())
+  in
+  if ps = [] then gather_fill g (Ok ())
+  else begin
+    try
+      List.iter
+        (fun (chunk, _, _) ->
+          submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:small
+            ~req_of:(fun ~solo ->
+              Decommit_req { root = v.root; chunk; forward = not solo })
+            ~on_reply:(function
+              | Decommit_ok -> ()
+              | _ -> failwith "petal: bad decommit reply"))
+        ps
+    with ex -> gather_fill g (Error ex)
+  end;
+  g.handle
+
+let read v ~off ~len = await (read_async v ~off ~len)
+let write v ~off data = await (write_async v ~off data)
+let decommit v ~off ~len = await (decommit_async v ~off ~len)
 
 let snapshot v =
   if is_snapshot v then raise Read_only;

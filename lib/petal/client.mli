@@ -4,13 +4,32 @@
     It routes each chunk request to the responsible server, fails
     over to the replica on timeout, and hides striping entirely.
     All offsets and lengths must be 512-byte aligned; requests may
-    span chunk boundaries and are split internally. *)
+    span chunk boundaries and are split internally.
+
+    I/O is submit-then-wait: {!read_async} and {!write_async} fan all
+    chunk pieces out concurrently (each piece failing over to its
+    replica independently) and return a completion {!handle}; the
+    blocking {!read}/{!write} are thin wrappers. Submission applies
+    backpressure — at most {!max_inflight_pieces} pieces are
+    outstanding per driver, so a flood of writes blocks the submitter
+    rather than growing unbounded queues. *)
 
 type t
 (** A driver instance (one per client host). *)
 
 type vdisk
 (** An open virtual disk. *)
+
+type 'a handle = ('a, exn) result Simkit.Sim.Ivar.t
+(** A completion handle: filled once, with the operation's result or
+    the first failure. *)
+
+val await : 'a handle -> 'a
+(** Block until the handle fills; re-raise its failure. *)
+
+val max_inflight_pieces : int
+(** Bound on outstanding chunk pieces per driver (the write-behind
+    window of §4 — 64 pieces of up to 64 KB is 4 MB). *)
 
 val connect : rpc:Cluster.Rpc.t -> servers:Cluster.Net.addr array -> t
 
@@ -25,17 +44,28 @@ val open_vdisk : t -> int -> vdisk
 val id : vdisk -> int
 val is_snapshot : vdisk -> bool
 
+val read_async : vdisk -> off:int -> len:int -> bytes handle
+(** Submit a read of [len] bytes at virtual offset [off]; uncommitted
+    space reads as zeros. All chunk pieces are issued before the call
+    returns; the handle fills when the last piece lands. *)
+
+val write_async : vdisk -> off:int -> bytes -> unit handle
+(** Submit a write. When the handle fills the data is durable (both
+    replicas for 2-way disks, modulo degraded mode when a replica is
+    down). Raises {!Protocol.Read_only} on snapshots. *)
+
+val decommit_async : vdisk -> off:int -> len:int -> unit handle
+(** Submit the freeing of the physical space backing a chunk-aligned
+    range. *)
+
 val read : vdisk -> off:int -> len:int -> bytes
-(** Read [len] bytes at virtual offset [off]; uncommitted space reads
-    as zeros. *)
+(** [await (read_async ...)]. *)
 
 val write : vdisk -> off:int -> bytes -> unit
-(** Durable when it returns (both replicas for 2-way disks, modulo
-    degraded mode when a replica is down). Raises
-    {!Protocol.Read_only} on snapshots. *)
+(** [await (write_async ...)]. *)
 
 val decommit : vdisk -> off:int -> len:int -> unit
-(** Free the physical space backing a chunk-aligned range. *)
+(** [await (decommit_async ...)]. *)
 
 val snapshot : vdisk -> int
 (** Create a crash-consistent copy-on-write snapshot; returns the

@@ -333,6 +333,89 @@ let prop_random_io_matches_model =
               Bytes.equal got (Bytes.sub model off len))
             ops))
 
+(* --- scatter-gather concurrency ---------------------------------------- *)
+
+let chunk = Petal.Protocol.chunk_bytes
+
+(* A 3-chunk operation must cost roughly one chunk's round trip, not
+   three: the client submits all pieces before waiting. A serial
+   client would take ~3x the single-chunk time. *)
+let test_multichunk_concurrent () =
+  Sim.run (fun () ->
+      let _, _, _, vd = setup () in
+      let t0 = Sim.now () in
+      Petal.Client.write vd ~off:0 (bytes_pat chunk 1);
+      let w1 = Sim.now () - t0 in
+      let data = bytes_pat (3 * chunk) 2 in
+      let t0 = Sim.now () in
+      Petal.Client.write vd ~off:(4 * chunk) data;
+      let w3 = Sim.now () - t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "3-chunk write ~1 RTT (1-chunk %dns, 3-chunk %dns)" w1 w3)
+        true
+        (w3 < 2 * w1);
+      let got = Petal.Client.read vd ~off:(4 * chunk) ~len:(3 * chunk) in
+      Alcotest.(check bool) "3-chunk contents" true (Bytes.equal data got);
+      let t0 = Sim.now () in
+      ignore (Petal.Client.read vd ~off:0 ~len:chunk);
+      let r1 = Sim.now () - t0 in
+      let t0 = Sim.now () in
+      ignore (Petal.Client.read vd ~off:(4 * chunk) ~len:(3 * chunk));
+      let r3 = Sim.now () - t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "3-chunk read ~1 RTT (1-chunk %dns, 3-chunk %dns)" r1 r3)
+        true
+        (r3 < 2 * r1))
+
+(* Two independently submitted writes overlap: awaiting both costs
+   about one write, not two. *)
+let test_async_handles_overlap () =
+  Sim.run (fun () ->
+      let _, _, _, vd = setup () in
+      let t0 = Sim.now () in
+      Petal.Client.write vd ~off:0 (bytes_pat chunk 3);
+      let w1 = Sim.now () - t0 in
+      let t0 = Sim.now () in
+      let h1 = Petal.Client.write_async vd ~off:(8 * chunk) (bytes_pat chunk 4) in
+      let h2 = Petal.Client.write_async vd ~off:(16 * chunk) (bytes_pat chunk 5) in
+      Petal.Client.await h1;
+      Petal.Client.await h2;
+      let w2 = Sim.now () - t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "two async writes overlap (one %dns, both %dns)" w1 w2)
+        true
+        (w2 < 2 * w1);
+      Alcotest.(check bool) "first write landed" true
+        (Bytes.equal (bytes_pat chunk 4) (Petal.Client.read vd ~off:(8 * chunk) ~len:chunk));
+      Alcotest.(check bool) "second write landed" true
+        (Bytes.equal (bytes_pat chunk 5) (Petal.Client.read vd ~off:(16 * chunk) ~len:chunk)))
+
+(* With 2 servers and one down, a 4-chunk write has two pieces whose
+   primary is dead. Each pays the 2 s failover timeout — but they must
+   pay it concurrently (elapsed ~2 s); a serial client would need over
+   4 s. Contents must survive the degraded writes, readable from the
+   surviving replica (reads fail over concurrently too). *)
+let test_failover_concurrent_pieces () =
+  Sim.run (fun () ->
+      let _, tb, _, vd = setup ~nservers:2 () in
+      let data = bytes_pat (4 * chunk) 11 in
+      Host.crash tb.Petal.Testbed.hosts.(0);
+      let t0 = Sim.now () in
+      Petal.Client.write vd ~off:0 data;
+      let w = Sim.now () - t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "degraded pieces fail over concurrently (write %dns)" w)
+        true
+        (w >= Sim.sec 2.0 && w < Sim.sec 3.0);
+      let t0 = Sim.now () in
+      let got = Petal.Client.read vd ~off:0 ~len:(4 * chunk) in
+      let r = Sim.now () - t0 in
+      Alcotest.(check bool) "degraded contents" true (Bytes.equal data got);
+      Alcotest.(check bool)
+        (Printf.sprintf "degraded reads fail over concurrently (read %dns)" r)
+        true
+        (r >= Sim.sec 2.0 && r < Sim.sec 3.0))
+
 let () =
   Alcotest.run "petal"
     [
@@ -342,11 +425,16 @@ let () =
           Alcotest.test_case "sparse 2^62 space" `Quick test_sparse_space;
           Alcotest.test_case "unwritten reads zero" `Quick test_unwritten_zero;
           Alcotest.test_case "cross-chunk I/O" `Quick test_cross_chunk;
+          Alcotest.test_case "multi-chunk pieces issue concurrently" `Quick
+            test_multichunk_concurrent;
+          Alcotest.test_case "async handles overlap" `Quick test_async_handles_overlap;
           QCheck_alcotest.to_alcotest prop_random_io_matches_model;
         ] );
       ( "fault tolerance",
         [
           Alcotest.test_case "read failover" `Quick test_failover_read;
+          Alcotest.test_case "failover pieces stay concurrent" `Quick
+            test_failover_concurrent_pieces;
           Alcotest.test_case "unavailable raises" `Quick test_unreplicated_unavailable;
           Alcotest.test_case "lease write guard" `Quick test_write_guard;
           Alcotest.test_case "resync after degraded writes" `Quick
