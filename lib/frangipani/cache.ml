@@ -173,10 +173,11 @@ let fill_range t ~lock ~addr ~len ~granule =
     let requested = List.init (len / granule) (fun i -> addr + (i * granule)) in
     let wanted = List.filter (fun a -> not (present t a)) requested in
     (* Granules already cached (or being fetched) are hits of the
-       read-ahead; the fetched ones are misses — counted here so the
-       ratio is consistent with the demand-fetch path. *)
+       read-ahead; misses are counted below, per entry this fetch
+       actually fills — a failed read counts nothing, and granules
+       someone else inserts while the fetch is in flight stay
+       theirs. *)
     t.hits <- t.hits + (List.length requested - List.length wanted);
-    t.misses <- t.misses + List.length wanted;
     if wanted <> [] then begin
       let ivs = List.map (fun a -> (a, Sim.Ivar.create ())) wanted in
       List.iter (fun (a, iv) -> Hashtbl.replace t.inflight a iv) ivs;
@@ -202,6 +203,7 @@ let fill_range t ~lock ~addr ~len ~granule =
               { addr = a; data = Bytes.sub data (a - addr) granule; dirty = false;
                 gen = 0; rid = 0; pins = 0; flushing = false; lock }
             in
+            t.misses <- t.misses + 1;
             Hashtbl.replace t.tbl a e;
             Hashtbl.replace (lock_index t lock) a ()
           end)
@@ -235,24 +237,37 @@ let group_runs dirty =
 (* Submit one async Petal write per run, then wait for every
    completion. As each run lands, entries whose generation is
    unchanged become clean; [on_run_done] runs per landed run (even on
-   failure). The first failure is re-raised after all runs settle. *)
+   failure). The first failure is re-raised after all runs settle. If
+   submission itself raises (e.g. the host died), [on_run_done] still
+   runs for the never-submitted runs so their entries are not left
+   marked in-flight forever. *)
 let write_runs t runs ~on_run_done =
   let pending = ref (List.length runs) in
   let all = Sim.Ivar.create () in
   let failed = ref None in
-  List.iter
-    (fun run ->
+  let finish_run run =
+    on_run_done run;
+    decr pending;
+    if !pending = 0 then Sim.Ivar.fill all ()
+  in
+  let rec submit = function
+    | [] -> ()
+    | run :: rest -> (
       let gens = List.map (fun e -> (e, e.gen)) run in
       let data = Bytes.concat Bytes.empty (List.map (fun e -> e.data) run) in
-      let h = Petal.Client.write_async t.vd ~off:(List.hd run).addr data in
-      Sim.spawn (fun () ->
-          (match Sim.Ivar.read h with
-          | Ok () -> List.iter (fun (e, g) -> if e.gen = g then mark_clean t e) gens
-          | Error ex -> if !failed = None then failed := Some ex);
-          on_run_done run;
-          decr pending;
-          if !pending = 0 then Sim.Ivar.fill all ()))
-    runs;
+      match Petal.Client.write_async t.vd ~off:(List.hd run).addr data with
+      | h ->
+        Sim.spawn (fun () ->
+            (match Petal.Client.wait h with
+            | Ok () -> List.iter (fun (e, g) -> if e.gen = g then mark_clean t e) gens
+            | Error ex -> if !failed = None then failed := Some ex);
+            finish_run run);
+        submit rest
+      | exception ex ->
+        List.iter finish_run (run :: rest);
+        raise ex)
+  in
+  submit runs;
   if runs <> [] then Sim.Ivar.read all;
   match !failed with Some ex -> raise ex | None -> ()
 

@@ -245,6 +245,32 @@ let rename ctx ~sdir sname ~ddir dname =
             (src, Dir.lookup ctx ddir dino dname))
       in
       if src = sdir || src = ddir then fail Einval;
+      (* Cycle check (classic EINVAL): a directory must not move into
+         its own subtree, or the subtree detaches from the root as an
+         unreachable cycle. Walked before the write phase with one
+         read lock at a time (never while holding others), respecting
+         the sorted-acquisition discipline. A rename racing elsewhere
+         in the tree could still slip a cycle past this — the gap
+         namei-based kernels close with a global rename lock, which a
+         distributed FS cannot afford; our callers do not do that. *)
+      if sdir <> ddir then begin
+        let rec subtree_contains = function
+          | [] -> false
+          | d :: rest ->
+            d = ddir
+            || (let children =
+                  with_locks ctx
+                    [ (ilock d, Types.R) ]
+                    (fun () ->
+                      match Inode.read ctx d with
+                      | { Ondisk.itype = Dir; _ } as ino ->
+                        List.map snd (Dir.entries ctx d ino)
+                      | _ -> [])
+                in
+                subtree_contains (children @ rest))
+        in
+        if subtree_contains [ src ] then fail Einval
+      end;
       if sdir = ddir && Some src = dst then (* rename to itself *) ()
       else begin
         let locks =

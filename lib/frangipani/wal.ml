@@ -140,23 +140,33 @@ let rec flush t =
         t.rid_at_lsn <- List.filter (fun (l, _) -> l > upto) t.rid_at_lsn
       end;
       let sectors = List.init n (fun i -> build (!s + i)) in
-      (* Split at the circular-buffer wrap, submit each run as one
-         async Petal write, and wait for all of them once — a group
-         commit that wraps pays one round-trip, not two. *)
-      let rec submit_runs acc = function
-        | [] -> List.rev acc
+      (* Recovery replays the maximal run of consecutive LSNs ending
+         at the highest one, so a log sector must never become durable
+         before its predecessors (prefix durability) — a crash
+         mid-flush must not leave an orphaned suffix that replay would
+         apply without the records preceding it. Split the batch
+         wherever one Petal write would stop being a single
+         failure-atomic piece — at the circular-buffer wrap and at
+         chunk boundaries — and write the pieces strictly in order,
+         each awaited before the next is submitted. *)
+      let chunk = Petal.Protocol.chunk_bytes in
+      let rec runs = function
+        | [] -> []
         | (lsn0, _) :: _ as rest ->
           let pos0 = (lsn0 - 1) mod Layout.log_sectors in
-          let fit = min (List.length rest) (Layout.log_sectors - pos0) in
+          let addr0 = sector_addr t lsn0 in
+          let to_wrap = Layout.log_sectors - pos0 in
+          let to_chunk = (chunk - (addr0 mod chunk)) / Layout.sector in
+          let fit = min (List.length rest) (min to_wrap to_chunk) in
           let run = List.filteri (fun i _ -> i < fit) rest in
           let tail = List.filteri (fun i _ -> i >= fit) rest in
-          let h =
-            Petal.Client.write_async t.vd ~off:(sector_addr t lsn0)
-              (Bytes.concat Bytes.empty (List.map snd run))
-          in
-          submit_runs (h :: acc) tail
+          (addr0, run) :: runs tail
       in
-      List.iter Petal.Client.await (submit_runs [] sectors);
+      List.iter
+        (fun (addr0, run) ->
+          Petal.Client.write t.vd ~off:addr0
+            (Bytes.concat Bytes.empty (List.map snd run)))
+        (runs sectors);
       (* Account durability per written sector. *)
       List.iter
         (fun (lsn, _) ->

@@ -27,7 +27,8 @@ type vdisk = {
 
 type 'a handle = ('a, exn) result Sim.Ivar.t
 
-let await h = match Sim.Ivar.read h with Ok v -> v | Error ex -> raise ex
+let wait h = Sim.Ivar.read h
+let await h = match wait h with Ok v -> v | Error ex -> raise ex
 
 (* The paper keeps "several megabytes" of write-behind in flight
    (§4); 64 pieces of up to 64 KB each is 4 MB. *)

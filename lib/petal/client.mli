@@ -20,12 +20,17 @@ type t
 type vdisk
 (** An open virtual disk. *)
 
-type 'a handle = ('a, exn) result Simkit.Sim.Ivar.t
-(** A completion handle: filled once, with the operation's result or
-    the first failure. *)
+type 'a handle
+(** A completion handle: fills exactly once, with the operation's
+    result or the first failure. Abstract so only the client can fill
+    it — callers observe it through {!await} / {!wait}. *)
 
 val await : 'a handle -> 'a
 (** Block until the handle fills; re-raise its failure. *)
+
+val wait : 'a handle -> ('a, exn) result
+(** Block until the handle fills; return its result without
+    raising. *)
 
 val max_inflight_pieces : int
 (** Bound on outstanding chunk pieces per driver (the write-behind

@@ -22,6 +22,12 @@ type t = {
   disks : Blockdev.Storage.t array;
   (* (vdisk root, chunk index) -> versions, newest first *)
   chunks : (int * int, version list ref) Hashtbl.t;
+  (* Serializes mutations of one chunk: writing a fresh extent blocks
+     on raw-disk I/O between reading the version list and installing
+     the new head, so two concurrent writes to the same chunk would
+     each otherwise build a base missing the other's data and the
+     loser's bytes would silently read back as zeros. *)
+  wlocks : (int * int, Sim.Resource.t) Hashtbl.t;
   vdisks : (int, vinfo) Hashtbl.t;
   mutable next_id : int;
   slot_ids : (int, int) Hashtbl.t; (* paxos slot -> id assigned by apply *)
@@ -128,6 +134,18 @@ let versions t key =
     Hashtbl.replace t.chunks key vl;
     vl
 
+let with_chunk_lock t key f =
+  let lock =
+    match Hashtbl.find_opt t.wlocks key with
+    | Some l -> l
+    | None ->
+      let l = Sim.Resource.create ~capacity:1 "petal.chunk" in
+      Hashtbl.replace t.wlocks key l;
+      l
+  in
+  Sim.Resource.acquire lock;
+  Fun.protect ~finally:(fun () -> Sim.Resource.release lock) f
+
 let select_version vl sel =
   match sel with
   | Current -> ( match vl with v :: _ -> Some v | [] -> None)
@@ -149,6 +167,7 @@ let read_chunk t ~root ~chunk ~within ~len ~sel =
 (* Overwrite the damaged extent with a clean copy (repairs the medium
    in our disk model, as a real remap-and-rewrite would). *)
 let repair_chunk t ~root ~chunk ~data =
+  with_chunk_lock t (root, chunk) @@ fun () ->
   let vl = versions t (root, chunk) in
   match !vl with
   | { loc = Some (d, off); _ } :: _ when Bytes.length data = chunk_bytes ->
@@ -158,6 +177,7 @@ let repair_chunk t ~root ~chunk ~data =
 (* Write [data] into the chunk under epoch tag [epoch], copying an
    older extent first if a snapshot pinned it (copy-on-write). *)
 let write_chunk t ~root ~chunk ~within ~data ~epoch =
+  with_chunk_lock t (root, chunk) @@ fun () ->
   let vl = versions t (root, chunk) in
   let whole = Bytes.length data = chunk_bytes && within = 0 in
   match !vl with
@@ -193,6 +213,7 @@ let write_chunk t ~root ~chunk ~within ~data ~epoch =
     vl := place current
 
 let decommit_chunk t ~root ~chunk ~epoch =
+  with_chunk_lock t (root, chunk) @@ fun () ->
   let vl = versions t (root, chunk) in
   match !vl with
   | [] -> ()
@@ -360,6 +381,7 @@ let create ~host ~rpc ~peers ~index ~disks ~stable =
         index;
         disks;
         chunks = Hashtbl.create 4096;
+        wlocks = Hashtbl.create 4096;
       degraded = Hashtbl.create 4;
         trusted = None;
         vdisks = Hashtbl.create 8;

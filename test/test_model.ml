@@ -41,6 +41,18 @@ type op =
 
 let names = [| "a"; "b"; "c"; "d"; "e" |]
 
+let show_op = function
+  | Create (d, n) -> Printf.sprintf "Create (%d, %S)" d n
+  | Mkdir (d, n) -> Printf.sprintf "Mkdir (%d, %S)" d n
+  | Write (f, off, len) -> Printf.sprintf "Write (%d, %d, %d)" f off len
+  | Read (f, off, len) -> Printf.sprintf "Read (%d, %d, %d)" f off len
+  | Unlink (d, n) -> Printf.sprintf "Unlink (%d, %S)" d n
+  | Rmdir (d, n) -> Printf.sprintf "Rmdir (%d, %S)" d n
+  | Rename (d1, n1, d2, n2) ->
+    Printf.sprintf "Rename (%d, %S, %d, %S)" d1 n1 d2 n2
+  | Truncate (f, sz) -> Printf.sprintf "Truncate (%d, %d)" f sz
+  | Listdir d -> Printf.sprintf "Listdir %d" d
+
 let gen_op =
   QCheck.Gen.(
     frequency
@@ -201,9 +213,16 @@ let apply m fs op =
       match Hashtbl.find_opt t1 n1 with
       | None -> fs_r = Error Errors.Enoent
       | Some src -> (
-        (* Skip awkward cases the model does not bother with. *)
-        let self_target = src = d2 || src = d1 in
-        if self_target then true
+        (* A node may not move onto its own parent slot, and a
+           directory may not move into its own subtree (cycle). *)
+        let rec contains id =
+          id = d2
+          || (match Hashtbl.find m.nodes id with
+             | Mdir sub -> Hashtbl.fold (fun _ c acc -> acc || contains c) sub false
+             | Mfile _ -> false)
+        in
+        if src = d1 then true
+        else if contains src then fs_r = Error Errors.Einval
         else
           match Hashtbl.find_opt t2 n2 with
           | Some dst when dst = src ->
@@ -269,7 +288,7 @@ let prop_matches_model ~servers =
     ~name:(Printf.sprintf "random ops match model (%d server%s)" servers
              (if servers > 1 then "s" else ""))
     ~count:15
-    QCheck.(pair (int_range 0 100000) (list_of_size (QCheck.Gen.int_range 20 60) (QCheck.make gen_op)))
+    QCheck.(pair (int_range 0 100000) (list_of_size (QCheck.Gen.int_range 20 60) (QCheck.make ~print:show_op gen_op)))
     (fun (seed, ops) ->
       Sim.run ~seed (fun () ->
           let t = T.build ~petal_servers:3 ~ndisks:2 ~ngroups:16 () in
@@ -286,7 +305,7 @@ let prop_matches_model ~servers =
    fsck with zero findings. *)
 let prop_fsck_clean_after_random_ops =
   QCheck.Test.make ~name:"fsck clean after random ops" ~count:10
-    QCheck.(pair (int_range 0 100000) (list_of_size (QCheck.Gen.int_range 20 50) (QCheck.make gen_op)))
+    QCheck.(pair (int_range 0 100000) (list_of_size (QCheck.Gen.int_range 20 50) (QCheck.make ~print:show_op gen_op)))
     (fun (seed, ops) ->
       Sim.run ~seed (fun () ->
           let t = T.build ~petal_servers:3 ~ndisks:2 ~ngroups:16 () in
