@@ -1,0 +1,124 @@
+(* Perf-regression gate over the BENCH_<n>.json trajectory.
+
+     dune exec bench/check_regress.exe               -- two newest BENCH_*.json
+     dune exec bench/check_regress.exe OLD.json NEW.json
+
+   Compares per-workload "throughput_mb_per_s" between the two files
+   and exits 1 if any workload present in both dropped by more than
+   20% — the verify recipe runs this after regenerating the current
+   PR's json so a perf PR cannot silently undo an earlier one.
+
+   The json is the line-oriented subset bench/main.exe emits; this
+   parses it with the stdlib only (no json library in the image). *)
+
+let tolerance = 0.20
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+(* A workload row looks like:
+     "name": { "throughput_mb_per_s": 13.092, ... },
+   Pull the name from the first quoted string and the number after
+   the throughput key. *)
+let parse_row line =
+  match String.index_opt line '"' with
+  | None -> None
+  | Some q0 -> (
+    match String.index_from_opt line (q0 + 1) '"' with
+    | None -> None
+    | Some q1 ->
+      let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
+      let key = "\"throughput_mb_per_s\":" in
+      let rec find i =
+        if i + String.length key > String.length line then None
+        else if String.sub line i (String.length key) = key then
+          Some (i + String.length key)
+        else find (i + 1)
+      in
+      (match find (q1 + 1) with
+      | None -> None
+      | Some v0 ->
+        let stop = ref v0 in
+        while
+          !stop < String.length line
+          && (match line.[!stop] with
+             | '0' .. '9' | '.' | '-' | 'e' | '+' | ' ' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        (try Some (name, float_of_string (String.trim (String.sub line v0 (!stop - v0))))
+         with Failure _ -> None)))
+
+let parse_file path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if contains line "throughput_mb_per_s" then
+         match parse_row line with
+         | Some row -> rows := row :: !rows
+         | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+(* BENCH_<n>.json, sorted by <n>; the two highest are (previous,
+   current). *)
+let autodetect () =
+  let indexed =
+    Sys.readdir "."
+    |> Array.to_list
+    |> List.filter_map (fun f ->
+           try Scanf.sscanf f "BENCH_%d.json%!" (fun n -> Some (n, f))
+           with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+    |> List.sort compare
+  in
+  match List.rev indexed with
+  | (_, cur) :: (_, prev) :: _ -> (prev, cur)
+  | _ ->
+    prerr_endline
+      "check_regress: need two BENCH_<n>.json files (or pass OLD NEW)";
+    exit 2
+
+let () =
+  let prev_file, cur_file =
+    match Sys.argv with
+    | [| _ |] -> autodetect ()
+    | [| _; a; b |] -> (a, b)
+    | _ ->
+      prerr_endline "usage: check_regress [OLD.json NEW.json]";
+      exit 2
+  in
+  let prev = parse_file prev_file and cur = parse_file cur_file in
+  Printf.printf "check_regress: %s -> %s (fail on >%.0f%% throughput drop)\n"
+    prev_file cur_file (tolerance *. 100.);
+  let failed = ref false in
+  List.iter
+    (fun (name, old_thr) ->
+      match List.assoc_opt name cur with
+      | None -> Printf.printf "  %-28s %8.3f -> (gone)   WARN: workload dropped\n" name old_thr
+      | Some new_thr ->
+        let delta =
+          if old_thr > 0. then (new_thr -. old_thr) /. old_thr *. 100. else 0.
+        in
+        let bad = old_thr > 0. && new_thr < old_thr *. (1. -. tolerance) in
+        if bad then failed := true;
+        Printf.printf "  %-28s %8.3f -> %8.3f MB/s  %+7.1f%%%s\n" name old_thr
+          new_thr delta
+          (if bad then "  REGRESSION" else ""))
+    prev;
+  List.iter
+    (fun (name, new_thr) ->
+      if not (List.mem_assoc name prev) then
+        Printf.printf "  %-28s     (new) -> %8.3f MB/s\n" name new_thr)
+    cur;
+  if !failed then begin
+    prerr_endline "check_regress: FAIL";
+    exit 1
+  end
+  else print_endline "check_regress: OK"

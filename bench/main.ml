@@ -412,13 +412,34 @@ let ablation () =
     "f) §2.2 remote clients: 50 create+write+read cycles, local %.0f ms vs \
      remote %.0f ms (+%.0f%% protocol hop)\n"
     (local_t *. 1000.) (remote_t *. 1000.)
-    ((remote_t /. local_t -. 1.0) *. 100.)
+    ((remote_t /. local_t -. 1.0) *. 100.);
+  (* g) read-ahead submission: the UFS-derived one-cluster-at-a-time
+     prefetch the paper borrowed vs one batched scatter-gather
+     submission of the whole window. *)
+  let seq_read serial =
+    Sim.run (fun () ->
+        let t = T.build ~petal_servers:7 ~ndisks:9 ~disk_capacity:(128 * mb) () in
+        let v =
+          V.of_frangipani
+            (T.add_server t
+               ~config:{ base with Frangipani.Ctx.read_ahead_serial = serial }
+               ())
+        in
+        ignore (Workloads.Largefile.write_seq v ~name:"big" ~mb:8);
+        (Workloads.Largefile.read_seq v ~name:"big").Workloads.Largefile.mb_per_s)
+  in
+  Printf.printf
+    "g) read-ahead submission: serial (UFS-style) %.1f MB/s, batched %.1f MB/s \
+     sequential read\n"
+    (seq_read true) (seq_read false)
 
-(* --- BENCH_1.json: machine-readable perf trajectory -------------------------------- *)
+(* --- BENCH_2.json: machine-readable perf trajectory -------------------------------- *)
 
 (* Every PR appends a BENCH_<n>.json so later PRs can diff throughput
-   and latency percentiles against this one. Latencies are simulated
-   milliseconds; throughput is MB/s of simulated time. *)
+   and latency percentiles against this one (bench/check_regress.exe
+   does exactly that and fails on a >20% throughput drop). Latencies
+   are simulated milliseconds; throughput is MB/s of simulated
+   time. *)
 
 let percentile_ms samples p =
   match samples with
@@ -431,9 +452,25 @@ let percentile_ms samples p =
 
 let ms_of t = Sim.to_sec t *. 1000.0
 
+(* Per-workload Petal driver counters: what a workload cost in Petal
+   round trips and simulated device time, and what the read-side
+   coalescer saved. [prev] is the snapshot taken before the
+   workload. *)
+let print_petal_delta name (prev : Petal.Client.stats) (s : Petal.Client.stats) =
+  Printf.printf
+    "  petal[%-22s] reads %5d (%6.3fs)  writes %5d (%6.3fs)  pieces %5d  \
+     rpcs %5d  coalesced %5d\n"
+    name (s.reads - prev.reads)
+    (s.read_seconds -. prev.read_seconds)
+    (s.writes - prev.writes)
+    (s.write_seconds -. prev.write_seconds)
+    (s.read_pieces - prev.read_pieces)
+    (s.read_rpcs - prev.read_rpcs)
+    (s.read_coalesced - prev.read_coalesced)
+
 let json_bench () =
   print_endline hrule;
-  print_endline "BENCH_1.json: throughput + latency percentiles per workload";
+  print_endline "BENCH_2.json: throughput + latency percentiles per workload";
   let results : (string * float * int * float * float) list ref = ref [] in
   let record name ~bytes ~elapsed lats =
     let thr =
@@ -445,12 +482,15 @@ let json_bench () =
   in
   (* Frangipani large-file sequential write + read, per-64KB-op latency. *)
   Sim.run (fun () ->
-      let v = snd (frangipani_vfs ()) in
+      let t = T.build ~petal_servers:7 ~ndisks:9 ~disk_capacity:(128 * mb) () in
+      let fs = T.add_server t () in
+      let v = V.of_frangipani fs in
       let unit_b = 65536 in
       let units = 16 * mb / unit_b in
       let data = Bytes.make unit_b 'J' in
       let inum = v.V.create ~dir:v.V.root "jbig" in
       let lats = ref [] in
+      let p0 = Frangipani.Fs.petal_stats fs in
       let t0 = Sim.now () in
       for i = 0 to units - 1 do
         let s = Sim.now () in
@@ -460,8 +500,10 @@ let json_bench () =
       v.V.sync ();
       record "largefile_write_16mb" ~bytes:(units * unit_b)
         ~elapsed:(Sim.now () - t0) !lats;
+      print_petal_delta "largefile_write_16mb" p0 (Frangipani.Fs.petal_stats fs);
       v.V.drop_caches ();
       let lats = ref [] in
+      let p0 = Frangipani.Fs.petal_stats fs in
       let t0 = Sim.now () in
       for i = 0 to units - 1 do
         let s = Sim.now () in
@@ -469,10 +511,13 @@ let json_bench () =
         lats := ms_of (Sim.now () - s) :: !lats
       done;
       record "largefile_read_16mb" ~bytes:(units * unit_b)
-        ~elapsed:(Sim.now () - t0) !lats);
+        ~elapsed:(Sim.now () - t0) !lats;
+      print_petal_delta "largefile_read_16mb" p0 (Frangipani.Fs.petal_stats fs));
   (* 30 parallel uncached 8 KB reads (paper §9.2 aside). *)
   Sim.run (fun () ->
-      let v = snd (frangipani_vfs ()) in
+      let t = T.build ~petal_servers:7 ~ndisks:9 ~disk_capacity:(128 * mb) () in
+      let fs = T.add_server t () in
+      let v = V.of_frangipani fs in
       let files =
         List.init 30 (fun i ->
             let inum = v.V.create ~dir:v.V.root (Printf.sprintf "js%d" i) in
@@ -482,6 +527,7 @@ let json_bench () =
       v.V.sync ();
       v.V.drop_caches ();
       let lats = ref [] in
+      let p0 = Frangipani.Fs.petal_stats fs in
       let t0 = Sim.now () in
       let pending = ref (List.length files) in
       let all = Sim.Ivar.create () in
@@ -495,7 +541,8 @@ let json_bench () =
               if !pending = 0 then Sim.Ivar.fill all ()))
         files;
       Sim.Ivar.read all;
-      record "small_reads_30x8kb" ~bytes:(30 * 8192) ~elapsed:(Sim.now () - t0) !lats);
+      record "small_reads_30x8kb" ~bytes:(30 * 8192) ~elapsed:(Sim.now () - t0) !lats;
+      print_petal_delta "small_reads_30x8kb" p0 (Frangipani.Fs.petal_stats fs));
   (* Raw Petal write latency: one chunk vs a 3-chunk scatter. The
      acceptance check for the async client is the ratio of these two —
      a multi-chunk write should cost ~1 round-trip, not N. *)
@@ -509,19 +556,21 @@ let json_bench () =
         let vd = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
         let data = Bytes.make len 'p' in
         let lats = ref [] in
+        let p0 = Petal.Client.op_stats vd in
         let t0 = Sim.now () in
         for i = 0 to reps - 1 do
           let s = Sim.now () in
           Petal.Client.write vd ~off:(i * 4 * Petal.Protocol.chunk_bytes) data;
           lats := ms_of (Sim.now () - s) :: !lats
         done;
-        record name ~bytes:(reps * len) ~elapsed:(Sim.now () - t0) !lats)
+        record name ~bytes:(reps * len) ~elapsed:(Sim.now () - t0) !lats;
+        print_petal_delta name p0 (Petal.Client.op_stats vd))
   in
   petal_write "petal_write_64kb_1chunk" ~reps:20 ~len:Petal.Protocol.chunk_bytes;
   petal_write "petal_write_192kb_3chunks" ~reps:20 ~len:(3 * Petal.Protocol.chunk_bytes);
   let rows = List.rev !results in
-  let oc = open_out "BENCH_1.json" in
-  Printf.fprintf oc "{\n  \"pr\": 1,\n  \"workloads\": {\n";
+  let oc = open_out "BENCH_2.json" in
+  Printf.fprintf oc "{\n  \"pr\": 2,\n  \"workloads\": {\n";
   List.iteri
     (fun i (name, thr, ops, p50, p99) ->
       Printf.fprintf oc
@@ -537,7 +586,7 @@ let json_bench () =
       Printf.printf "%-28s %8.1f MB/s %5d ops  p50 %8.3f ms  p99 %8.3f ms\n" name
         thr ops p50 p99)
     rows;
-  print_endline "wrote BENCH_1.json"
+  print_endline "wrote BENCH_2.json"
 
 (* --- Bechamel microbenchmarks ------------------------------------------------------ *)
 

@@ -164,53 +164,76 @@ let write_data t ~lock ~addr ~bytes:data =
 let mem t addr = Hashtbl.mem t.tbl addr
 let present t addr = Hashtbl.mem t.tbl addr || Hashtbl.mem t.inflight addr
 
-(* Fetch [addr, addr+len) with one Petal read and populate entries of
-   [granule] bytes each — sequential-read clustering. Granules being
-   fetched elsewhere are skipped; readers of those wait on the other
-   fetch through {!entry}. *)
-let fill_range t ~lock ~addr ~len ~granule =
-  if len > 0 then begin
-    let requested = List.init (len / granule) (fun i -> addr + (i * granule)) in
-    let wanted = List.filter (fun a -> not (present t a)) requested in
-    (* Granules already cached (or being fetched) are hits of the
-       read-ahead; misses are counted below, per entry this fetch
-       actually fills — a failed read counts nothing, and granules
-       someone else inserts while the fetch is in flight stay
-       theirs. *)
-    t.hits <- t.hits + (List.length requested - List.length wanted);
-    if wanted <> [] then begin
-      let ivs = List.map (fun a -> (a, Sim.Ivar.create ())) wanted in
-      List.iter (fun (a, iv) -> Hashtbl.replace t.inflight a iv) ivs;
-      let finish () =
-        List.iter
-          (fun (a, iv) ->
-            Hashtbl.remove t.inflight a;
-            Sim.Ivar.fill iv ())
-          ivs
-      in
-      (* One submission for the whole range: the Petal client fans
-         the chunk pieces out concurrently. *)
-      let data =
-        try Petal.Client.await (Petal.Client.read_async t.vd ~off:addr ~len)
-        with ex ->
-          finish ();
-          raise ex
-      in
+(* Fetch several [(lock, addr, len)] runs with one Petal submission
+   (the client fans the chunk pieces of every run out concurrently
+   and coalesces adjacent pieces) and populate entries of [granule]
+   bytes each — the batched miss path of a scatter-gather read.
+   Granules already cached or being fetched elsewhere are skipped;
+   readers of those wait on the other fetch through {!entry}. *)
+let fill_runs t runs ~granule =
+  (* Granules already cached (or being fetched) are hits of the
+     read-ahead; misses are counted below, per entry this fetch
+     actually fills — a failed read counts nothing, and granules
+     someone else inserts while the fetch is in flight stay
+     theirs. *)
+  let prepared =
+    List.filter_map
+      (fun (lock, addr, len) ->
+        if len <= 0 then None
+        else begin
+          let requested = List.init (len / granule) (fun i -> addr + (i * granule)) in
+          let wanted = List.filter (fun a -> not (present t a)) requested in
+          t.hits <- t.hits + (List.length requested - List.length wanted);
+          if wanted = [] then None else Some (lock, addr, len, wanted)
+        end)
+      runs
+  in
+  if prepared <> [] then begin
+    let ivs =
+      List.concat_map
+        (fun (_, _, _, wanted) -> List.map (fun a -> (a, Sim.Ivar.create ())) wanted)
+        prepared
+    in
+    List.iter (fun (a, iv) -> Hashtbl.replace t.inflight a iv) ivs;
+    let finish () =
       List.iter
-        (fun (a, _) ->
-          if not (Hashtbl.mem t.tbl a) then begin
-            let e =
-              { addr = a; data = Bytes.sub data (a - addr) granule; dirty = false;
-                gen = 0; rid = 0; pins = 0; flushing = false; lock }
-            in
-            t.misses <- t.misses + 1;
-            Hashtbl.replace t.tbl a e;
-            Hashtbl.replace (lock_index t lock) a ()
-          end)
-        ivs;
-      finish ()
-    end
+        (fun (a, iv) ->
+          Hashtbl.remove t.inflight a;
+          Sim.Ivar.fill iv ())
+        ivs
+    in
+    (* One submission for all runs: the Petal client fans the chunk
+       pieces out concurrently and coalesces across run boundaries. *)
+    let datas =
+      try
+        Petal.Client.await
+          (Petal.Client.read_runs_async t.vd
+             (List.map (fun (_, addr, len, _) -> (addr, len)) prepared))
+      with ex ->
+        finish ();
+        raise ex
+    in
+    List.iter2
+      (fun (lock, addr, _, wanted) data ->
+        List.iter
+          (fun a ->
+            if not (Hashtbl.mem t.tbl a) then begin
+              let e =
+                { addr = a; data = Bytes.sub data (a - addr) granule; dirty = false;
+                  gen = 0; rid = 0; pins = 0; flushing = false; lock }
+              in
+              t.misses <- t.misses + 1;
+              Hashtbl.replace t.tbl a e;
+              Hashtbl.replace (lock_index t lock) a ()
+            end)
+          wanted)
+      prepared datas;
+    finish ()
   end
+
+(* Single-run convenience: sequential-read clustering over one
+   contiguous range. *)
+let fill_range t ~lock ~addr ~len ~granule = fill_runs t [ (lock, addr, len) ] ~granule
 
 (* Write a set of dirty entries back to Petal: log records first
    (write-ahead), then the entries clustered into naturally-aligned

@@ -58,10 +58,22 @@ val mem : t -> int -> bool
 (** Is this address cached? (Read-clustering uses it to find runs of
     missing blocks.) *)
 
+val present : t -> int -> bool
+(** Is this address cached or already being fetched? (What a
+    prefetch would skip — used to size read-ahead windows.) *)
+
+val fill_runs : t -> (int * int * int) list -> granule:int -> unit
+(** Fetch several [(lock, addr, len)] miss runs with one Petal
+    submission (pieces of every run fan out concurrently; adjacent
+    pieces in one chunk coalesce into one RPC) and populate clean
+    entries of [granule] bytes — the batched scatter-gather read
+    path. *)
+
 val fill_range : t -> lock:int -> addr:int -> len:int -> granule:int -> unit
 (** Fetch a contiguous range with a single Petal read and populate
-    clean entries of [granule] bytes — sequential-read clustering
-    and the read-ahead engine. *)
+    clean entries of [granule] bytes — sequential-read clustering;
+    [fill_runs] restricted to one run (the serial read-ahead
+    ablation). *)
 
 val flush_lock : t -> int -> unit
 (** Write back all dirty entries covered by a lock (logging first). *)

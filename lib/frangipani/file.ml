@@ -62,18 +62,26 @@ let pieces ~off ~len =
   in
   go off len []
 
-(* Fetch the uncached blocks among [boffs] with clustered Petal reads
-   (contiguous runs up to 64 KB), in parallel — or serially for the
-   UFS-style read-ahead, which issued one cluster at a time. Holes
-   are skipped. *)
+(* The blocks among [boffs] that are mapped but neither cached nor
+   already being fetched — what a fetch would actually transfer.
+   Holes are skipped (they read as zeros without I/O). *)
+let missing_blocks ctx (ino : Ondisk.inode) boffs =
+  List.filter
+    (fun boff ->
+      match block_addr ino ~boff with
+      | Some addr -> not (Cache.present ctx.Ctx.cache addr)
+      | None -> false)
+    boffs
+
+(* Fetch the uncached blocks among [boffs]: cluster their Petal
+   addresses into contiguous runs of up to 64 KB (holes and the
+   small/large-block address discontinuity split runs naturally) and
+   submit every run through one batched scatter-gather fetch — or,
+   for the UFS-style read-ahead ablation, one run at a time. *)
 let fetch_blocks ?(serial = false) ctx inum (ino : Ondisk.inode) boffs =
   let missing =
-    List.filter_map
-      (fun boff ->
-        match block_addr ino ~boff with
-        | Some addr when not (Cache.mem ctx.Ctx.cache addr) -> Some addr
-        | Some _ | None -> None)
-      boffs
+    List.filter_map (fun boff -> block_addr ino ~boff) boffs
+    |> List.filter (fun addr -> not (Cache.present ctx.Ctx.cache addr))
     |> List.sort_uniq compare
   in
   let runs =
@@ -88,10 +96,6 @@ let fetch_blocks ?(serial = false) ctx inum (ino : Ondisk.inode) boffs =
   in
   match runs with
   | [] -> ()
-  | [ (addr, len) ] ->
-    Cache.fill_range ctx.Ctx.cache
-      ~lock:(Ctx.data_lock ctx ~inum ~addr)
-      ~addr ~len ~granule:Layout.block
   | runs when serial ->
     List.iter
       (fun (addr, len) ->
@@ -100,22 +104,11 @@ let fetch_blocks ?(serial = false) ctx inum (ino : Ondisk.inode) boffs =
           ~addr ~len ~granule:Layout.block)
       runs
   | runs ->
-    let pending = ref (List.length runs) in
-    let all = Simkit.Sim.Ivar.create () in
-    let failed = ref None in
-    List.iter
-      (fun (addr, len) ->
-        Simkit.Sim.spawn (fun () ->
-            (try
-               Cache.fill_range ctx.Ctx.cache
-                 ~lock:(Ctx.data_lock ctx ~inum ~addr)
-                 ~addr ~len ~granule:Layout.block
-             with ex -> failed := Some ex);
-            decr pending;
-            if !pending = 0 then Simkit.Sim.Ivar.fill all ()))
-      runs;
-    Simkit.Sim.Ivar.read all;
-    (match !failed with Some ex -> raise ex | None -> ())
+    Cache.fill_runs ctx.Ctx.cache
+      (List.map
+         (fun (addr, len) -> (Ctx.data_lock ctx ~inum ~addr, addr, len))
+         runs)
+      ~granule:Layout.block
 
 (** Read file content; holes and the region past EOF read as zeros
     (the caller clamps [len] to size if it wants POSIX reads). *)

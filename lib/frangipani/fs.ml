@@ -24,6 +24,7 @@ exception Retry
 let host (ctx : t) = ctx.Ctx.host
 let log_slot (ctx : t) = ctx.Ctx.slot
 let cache_stats (ctx : t) = Cache.stats ctx.Ctx.cache
+let petal_stats (ctx : t) = Petal.Client.op_stats ctx.Ctx.vd
 let is_poisoned (ctx : t) = ctx.Ctx.poisoned
 
 (* --- formatting --------------------------------------------------------- *)
@@ -92,7 +93,8 @@ let drop_link ctx txn inum (ino : Ondisk.inode) =
       (Layout.Inode_pool, inum) :: File.content_bits ino ~meta:(is_meta ino)
     in
     Alloc.free_many ctx txn bits;
-    Inode.write ctx txn inum { Ondisk.empty_inode with itype = Free }
+    Inode.write ctx txn inum { Ondisk.empty_inode with itype = Free };
+    Ctx.forget_read_ahead ctx inum
   end
 
 let new_inode ctx txn (proto : Ondisk.inode) =
@@ -341,19 +343,24 @@ let reg_inode ctx inum =
    on the file lock and releases it when the fetch completes, like a
    kernel read-ahead keeping the buffers busy. This is what makes the
    Figure 8 anomaly real: a revoke must wait for the prefetch, and
-   the prefetched data is then discarded — pure wasted work. *)
-let read_ahead_holding_lock ctx inum ~off ino n =
+   the prefetched data is then discarded — pure wasted work.
+
+   [boffs] are the blocks actually worth fetching (mapped, uncached,
+   within the per-inode in-flight budget); their bytes were charged by
+   the caller and are discharged here when the batch lands, however it
+   lands. The whole window goes down as one batched submission unless
+   the serial ablation is on. *)
+let read_ahead_holding_lock ctx inum ino boffs =
+  let bytes = List.length boffs * Layout.block in
   Sim.spawn (fun () ->
       Fun.protect
-        ~finally:(fun () -> Clerk.release ctx.Ctx.clerk ~lock:(ilock inum) Types.R)
+        ~finally:(fun () ->
+          Ctx.prefetch_discharge ctx inum bytes;
+          Clerk.release ctx.Ctx.clerk ~lock:(ilock inum) Types.R)
         (fun () ->
           try
-            let boff0 = (off + Layout.block - 1) / Layout.block * Layout.block in
-            let boffs =
-              List.init n (fun i -> boff0 + (i * Layout.block))
-              |> List.filter (fun boff -> boff < ino.Ondisk.size)
-            in
-            File.fetch_blocks ~serial:true ctx inum ino boffs
+            File.fetch_blocks ~serial:ctx.Ctx.config.read_ahead_serial ctx inum
+              ino boffs
           with
           | Error _ | Types.Lease_expired | Cluster.Host.Crashed _
           | Petal.Protocol.Unavailable _
@@ -374,15 +381,34 @@ let read ctx inum ~off ~len =
        where the previous one ended, or at the file head) — the UFS
        heuristic. *)
     let sequential =
-      match Hashtbl.find_opt ctx.Ctx.read_ahead_next inum with
+      match Ctx.predicted_next ctx inum with
       | Some predicted -> off = predicted
       | None -> off = 0
     in
-    Hashtbl.replace ctx.Ctx.read_ahead_next inum next;
+    Ctx.note_read_ahead ctx ~inum ~next;
     let n = ctx.Ctx.config.read_ahead in
-    if n > 0 && sequential && next < ino.Ondisk.size then
+    let window =
+      if n > 0 && sequential && next < ino.Ondisk.size then begin
+        let boff0 = (next + Layout.block - 1) / Layout.block * Layout.block in
+        let boffs =
+          List.init n (fun i -> boff0 + (i * Layout.block))
+          |> List.filter (fun boff -> boff < ino.Ondisk.size)
+        in
+        (* Only blocks a fetch would actually transfer count against
+           the per-inode budget; a window past the cap is clipped, not
+           skipped, so a slow Petal bounds speculation at two windows
+           in flight. *)
+        let missing = File.missing_blocks ctx ino boffs in
+        let budget = Ctx.prefetch_budget_blocks ctx inum in
+        List.filteri (fun i _ -> i < budget) missing
+      end
+      else []
+    in
+    if window <> [] then begin
       (* Hand our hold over to the prefetch process. *)
-      read_ahead_holding_lock ctx inum ~off:next ino n
+      Ctx.prefetch_charge ctx inum (List.length window * Layout.block);
+      read_ahead_holding_lock ctx inum ino window
+    end
     else Clerk.release ctx.Ctx.clerk ~lock:(ilock inum) Types.R;
     data
   | exception e ->
@@ -405,6 +431,7 @@ let truncate ctx inum ~size =
     [ (ilock inum, Types.W) ]
     (fun () ->
       let ino = reg_inode ctx inum in
+      if size = 0 then Ctx.forget_read_ahead ctx inum;
       Cache.with_txn ctx.Ctx.cache (fun txn ->
           let ino = File.truncate ctx txn inum ino ~size ~meta:false in
           Inode.write ctx txn inum { ino with mtime = Sim.now () }))
@@ -501,6 +528,8 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
       poisoned = false;
       unmounted = false;
       read_ahead_next = Hashtbl.create 64;
+      read_ahead_order = Queue.create ();
+      prefetch_inflight = Hashtbl.create 64;
     }
   in
   Clerk.set_callbacks clerk

@@ -104,6 +104,13 @@ val sync : t -> unit
 val host : t -> Cluster.Host.t
 val log_slot : t -> int
 val cache_stats : t -> int * int
+
+val petal_stats : t -> Petal.Client.stats
+(** This server's Petal driver counters (op counts, simulated time,
+    read piece/coalesce accounting) — lets tests assert a cold
+    sequential read costs O(chunks) RPCs, and the bench report
+    round trips saved. *)
+
 val is_poisoned : t -> bool
 
 val drop_caches : t -> unit

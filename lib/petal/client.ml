@@ -15,6 +15,9 @@ type t = {
   mutable write_ns : int;
   mutable read_ops : int;
   mutable read_ns : int;
+  mutable read_piece_count : int; (* chunk pieces before coalescing *)
+  mutable read_rpc_count : int; (* read RPCs actually issued *)
+  mutable read_coalesce_count : int; (* pieces merged into a neighbour *)
 }
 
 type vdisk = {
@@ -30,6 +33,16 @@ type 'a handle = ('a, exn) result Sim.Ivar.t
 let wait h = Sim.Ivar.read h
 let await h = match wait h with Ok v -> v | Error ex -> raise ex
 
+type stats = {
+  writes : int;
+  write_seconds : float;
+  reads : int;
+  read_seconds : float;
+  read_pieces : int;
+  read_rpcs : int;
+  read_coalesced : int;
+}
+
 (* The paper keeps "several megabytes" of write-behind in flight
    (§4); 64 pieces of up to 64 KB each is 4 MB. *)
 let max_inflight_pieces = 64
@@ -41,13 +54,21 @@ let connect ~rpc ~servers =
   { rpc; servers; timeout = Sim.sec 2.0;
     inflight = Sim.Resource.create ~capacity:max_inflight_pieces "petal.inflight";
     write_guard = (fun () -> None);
-    write_ops = 0; write_ns = 0; read_ops = 0; read_ns = 0 }
+    write_ops = 0; write_ns = 0; read_ops = 0; read_ns = 0;
+    read_piece_count = 0; read_rpc_count = 0; read_coalesce_count = 0 }
 
 let set_write_guard v f = v.c.write_guard <- f
 
 let op_stats v =
-  (v.c.write_ops, float_of_int v.c.write_ns /. 1e9, v.c.read_ops,
-   float_of_int v.c.read_ns /. 1e9)
+  {
+    writes = v.c.write_ops;
+    write_seconds = float_of_int v.c.write_ns /. 1e9;
+    reads = v.c.read_ops;
+    read_seconds = float_of_int v.c.read_ns /. 1e9;
+    read_pieces = v.c.read_piece_count;
+    read_rpcs = v.c.read_rpc_count;
+    read_coalesced = v.c.read_coalesce_count;
+  }
 
 let primary_of t ~root ~chunk = (root + chunk) mod Array.length t.servers
 let secondary_of t ~root ~chunk = (primary_of t ~root ~chunk + 1) mod Array.length t.servers
@@ -180,34 +201,79 @@ let pieces ~off ~len =
 
 let sel v = match v.frozen with Some e -> At e | None -> Current
 
-let read_async v ~off ~len =
-  check_aligned ~off ~len;
-  v.c.read_ops <- v.c.read_ops + 1;
-  let buf = Bytes.create len in
-  let ps = pieces ~off ~len in
-  let g =
-    gather_create ~npieces:(List.length ps)
-      ~result:(fun () -> buf)
-      ~account:(fun dt -> v.c.read_ns <- v.c.read_ns + dt)
+(* One destination segment of a (possibly coalesced) read RPC:
+   [dlen] bytes at offset [srcoff] of the reply land at [dpos] of
+   [dbuf]. *)
+type dest = { dbuf : bytes; dpos : int; srcoff : int; dlen : int }
+
+(* The shared read engine: split every run into chunk pieces, then
+   coalesce adjacent pieces that address the same chunk (and thus the
+   same server) into a single RPC — e.g. the tail of one 64 KB run
+   and the head of the next, when runs are not chunk-aligned. Each
+   coalesced RPC scatters its reply into all its destination
+   segments. *)
+let read_scatter v ~runs ~result ~account =
+  List.iter (fun (off, buf) -> check_aligned ~off ~len:(Bytes.length buf)) runs;
+  let raw =
+    List.concat_map
+      (fun (off, buf) ->
+        let pos = ref 0 in
+        List.map
+          (fun (chunk, within, n) ->
+            let p = !pos in
+            pos := !pos + n;
+            (chunk, within, n, { dbuf = buf; dpos = p; srcoff = 0; dlen = n }))
+          (pieces ~off ~len:(Bytes.length buf)))
+      runs
   in
-  if ps = [] then gather_fill g (Ok buf)
+  let merged =
+    List.fold_left
+      (fun acc (chunk, within, n, d) ->
+        match acc with
+        | (c0, w0, l0, ds) :: rest when c0 = chunk && w0 + l0 = within ->
+          (c0, w0, l0 + n, { d with srcoff = l0 } :: ds) :: rest
+        | _ -> (chunk, within, n, [ d ]) :: acc)
+      [] raw
+    |> List.rev_map (fun (c, w, l, ds) -> (c, w, l, List.rev ds))
+  in
+  v.c.read_piece_count <- v.c.read_piece_count + List.length raw;
+  v.c.read_rpc_count <- v.c.read_rpc_count + List.length merged;
+  v.c.read_coalesce_count <-
+    v.c.read_coalesce_count + (List.length raw - List.length merged);
+  let g = gather_create ~npieces:(List.length merged) ~result ~account in
+  if merged = [] then gather_fill g (Ok (result ()))
   else begin
-    let pos = ref 0 in
     try
       List.iter
-        (fun (chunk, within, n) ->
-          let bpos = !pos in
-          pos := !pos + n;
+        (fun (chunk, within, len, ds) ->
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:read_req_size
             ~req_of:(fun ~solo:_ ->
-              Read_req { root = v.root; chunk; within; len = n; sel = sel v })
+              Read_req { root = v.root; chunk; within; len; sel = sel v })
             ~on_reply:(function
-              | Read_ok data -> Bytes.blit data 0 buf bpos n
+              | Read_ok data ->
+                List.iter
+                  (fun d -> Bytes.blit data d.srcoff d.dbuf d.dpos d.dlen)
+                  ds
               | _ -> failwith "petal: bad read reply"))
-        ps
+        merged
     with ex -> gather_fill g (Error ex)
   end;
   g.handle
+
+let read_async v ~off ~len =
+  v.c.read_ops <- v.c.read_ops + 1;
+  let buf = Bytes.create len in
+  read_scatter v
+    ~runs:[ (off, buf) ]
+    ~result:(fun () -> buf)
+    ~account:(fun dt -> v.c.read_ns <- v.c.read_ns + dt)
+
+let read_runs_async v runs =
+  v.c.read_ops <- v.c.read_ops + 1;
+  let bufs = List.map (fun (off, len) -> (off, Bytes.create len)) runs in
+  read_scatter v ~runs:bufs
+    ~result:(fun () -> List.map snd bufs)
+    ~account:(fun dt -> v.c.read_ns <- v.c.read_ns + dt)
 
 let write_async v ~off data =
   if is_snapshot v then raise Read_only;

@@ -54,6 +54,14 @@ val read_async : vdisk -> off:int -> len:int -> bytes handle
     space reads as zeros. All chunk pieces are issued before the call
     returns; the handle fills when the last piece lands. *)
 
+val read_runs_async : vdisk -> (int * int) list -> bytes list handle
+(** Submit several [(off, len)] extents as one scatter-gather read;
+    the handle fills with one buffer per extent, in order, once every
+    piece of every extent has landed. Adjacent chunk pieces of
+    consecutive extents that address the same chunk (hence the same
+    server) are coalesced into a single RPC — the batched read path's
+    round-trip saver, visible in {!op_stats}. *)
+
 val write_async : vdisk -> off:int -> bytes -> unit handle
 (** Submit a write. When the handle fills the data is durable (both
     replicas for 2-way disks, modulo degraded mode when a replica is
@@ -83,7 +91,18 @@ val set_write_guard : vdisk -> (unit -> int option) -> unit
     (raising {!Protocol.Stale_write} back at the client). Frangipani
     sets it to [lease_valid_until - margin] at mount. *)
 
-val op_stats : vdisk -> int * float * int * float
-(** [(write_ops, write_seconds, read_ops, read_seconds)] accumulated
-    by this driver instance — simulated time spent inside Petal
-    operations, for performance debugging. *)
+type stats = {
+  writes : int;  (** write/decommit submissions *)
+  write_seconds : float;  (** simulated time inside writes *)
+  reads : int;  (** read submissions (single- or multi-extent) *)
+  read_seconds : float;  (** simulated time inside reads *)
+  read_pieces : int;  (** chunk pieces across all reads, pre-coalescing *)
+  read_rpcs : int;  (** read RPCs actually issued *)
+  read_coalesced : int;  (** pieces merged into a neighbouring RPC *)
+}
+
+val op_stats : vdisk -> stats
+(** Operation counters accumulated by this driver instance —
+    simulated time spent inside Petal operations plus the read-side
+    piece/coalesce accounting, for performance debugging and the
+    bench's round-trips-saved report. *)

@@ -1,0 +1,268 @@
+(* The batched scatter-gather read path: foreground miss coalescing,
+   parallel read-ahead, and its interaction with holes, the 64 KB
+   small/large boundary, lock revocation, and replica failure. *)
+
+open Simkit
+open Frangipani
+module T = Workloads.Testbed
+
+let small () = T.build ~petal_servers:3 ~ndisks:2 ~ngroups:16 ()
+
+let setup ?config ?(nservers = 1) () =
+  let t = small ()
+  in
+  let servers = List.init nservers (fun _ -> T.add_server t ?config ()) in
+  (t, servers)
+
+let one ?config () =
+  let t, servers = setup ?config () in
+  (t, List.hd servers)
+
+let bytes_pat n seed = Bytes.init n (fun i -> Char.chr ((i * 7 + seed) mod 256))
+
+(* Write [data] through [fs] in 64 KB pieces and push it to Petal so
+   a later drop_caches gives a truly cold read. *)
+let write_out fs f data =
+  let len = Bytes.length data in
+  let piece = 65536 in
+  let rec go off =
+    if off < len then begin
+      Fs.write fs f ~off (Bytes.sub data off (min piece (len - off)));
+      go (off + piece)
+    end
+  in
+  go 0;
+  Fs.sync fs;
+  Fs.drop_caches fs
+
+(* --- O(chunks) round trips ------------------------------------------------ *)
+
+let test_cold_read_rpc_count () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "big" in
+      let size = 512 * 1024 in
+      let data = bytes_pat size 1 in
+      write_out fs f data;
+      let s0 = Fs.petal_stats fs in
+      for i = 0 to (size / 65536) - 1 do
+        let got = Fs.read fs f ~off:(i * 65536) ~len:65536 in
+        Alcotest.(check bool)
+          (Printf.sprintf "data @%dK" (i * 64))
+          true
+          (Bytes.equal got (Bytes.sub data (i * 65536) 65536))
+      done;
+      let s1 = Fs.petal_stats fs in
+      let open Petal.Client in
+      let rpcs = s1.read_rpcs - s0.read_rpcs in
+      (* 512 KB spans ~9 chunks (16 small blocks + 7 large-area
+         chunks); batching must keep the whole cold sweep at O(chunks)
+         RPCs — the inode sector and boundary splits add a handful —
+         not O(blocks) = 128. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "O(chunks) rpcs, got %d" rpcs)
+        true
+        (rpcs >= size / 65536 && rpcs <= 14))
+
+let test_misaligned_read_coalesces () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "mis" in
+      let size = 1024 * 1024 in
+      let data = bytes_pat size 3 in
+      write_out fs f data;
+      (* A block-aligned but chunk-misaligned cold read in the large
+         area: the 64 KB miss runs split mid-chunk, so the tail piece
+         of one run and the head piece of the next hit the same chunk
+         and must ride one RPC. *)
+      let off = Layout.small_area_per_file + (3 * Layout.block) in
+      let len = 256 * 1024 in
+      let s0 = Fs.petal_stats fs in
+      let got = Fs.read fs f ~off ~len in
+      let s1 = Fs.petal_stats fs in
+      Alcotest.(check bool) "data" true (Bytes.equal got (Bytes.sub data off len));
+      let open Petal.Client in
+      Alcotest.(check bool) "adjacent pieces coalesced" true
+        (s1.read_coalesced - s0.read_coalesced > 0);
+      Alcotest.(check bool) "coalescing saved rpcs" true
+        (s1.read_rpcs - s0.read_rpcs < s1.read_pieces - s0.read_pieces))
+
+(* --- holes and the small/large boundary ----------------------------------- *)
+
+let test_sparse_holes () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "sparse" in
+      (* Blocks 0 and 3 of the small area, plus a write in the large
+         area: blocks 1-2 stay unmapped and must read as zeros without
+         breaking the batched miss runs around them. *)
+      let p0 = bytes_pat 4096 5 and p3 = bytes_pat 4096 6 and pl = bytes_pat 4096 7 in
+      Fs.write fs f ~off:0 p0;
+      Fs.write fs f ~off:(3 * Layout.block) p3;
+      Fs.write fs f ~off:(Layout.small_area_per_file + 65536) pl;
+      Fs.sync fs;
+      Fs.drop_caches fs;
+      let size = Layout.small_area_per_file + 65536 + 4096 in
+      let expect = Bytes.make size '\000' in
+      Bytes.blit p0 0 expect 0 4096;
+      Bytes.blit p3 0 expect (3 * Layout.block) 4096;
+      Bytes.blit pl 0 expect (Layout.small_area_per_file + 65536) 4096;
+      let got = Fs.read fs f ~off:0 ~len:size in
+      Alcotest.(check bool) "holes read as zeros, data intact" true
+        (Bytes.equal got expect))
+
+let test_small_large_boundary () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "boundary" in
+      let size = 128 * 1024 in
+      let data = bytes_pat size 9 in
+      write_out fs f data;
+      (* One cold read spanning the 64 KB small/large switch: the
+         address discontinuity splits the miss runs, both go down in
+         one batched submission. *)
+      let s0 = Fs.petal_stats fs in
+      let got = Fs.read fs f ~off:0 ~len:size in
+      let s1 = Fs.petal_stats fs in
+      Alcotest.(check bool) "data across boundary" true (Bytes.equal got data);
+      let open Petal.Client in
+      Alcotest.(check bool) "one submission, few rpcs" true
+        (s1.reads - s0.reads <= 3 && s1.read_rpcs - s0.read_rpcs <= 7))
+
+(* --- revoke during a batched prefetch -------------------------------------- *)
+
+let test_revoke_mid_prefetch () =
+  Sim.run (fun () ->
+      let _, servers = setup ~nservers:2 () in
+      let a = List.nth servers 0 and b = List.nth servers 1 in
+      let f = Fs.create a ~dir:Fs.root "contested" in
+      let size = 1024 * 1024 in
+      write_out a f (bytes_pat size 11);
+      (* a's sequential read spawns a batched prefetch that keeps
+         holding the file's R lock. *)
+      ignore (Fs.read a f ~off:0 ~len:65536);
+      (* b's write W-locks the file: the revoke must wait for a's
+         in-flight batch, then a discards the prefetched data and
+         releases. If the prefetch leaked the hold this would
+         deadlock; if invalidation were skipped, a would read stale
+         bytes below. *)
+      let fresh = Bytes.make 4096 'B' in
+      Fs.write b f ~off:0 fresh;
+      Fs.sync b;
+      let got = Fs.read a f ~off:0 ~len:4096 in
+      Alcotest.(check bool) "a sees b's write after revoke" true
+        (Bytes.equal got fresh);
+      (* The prefetched window really was discarded: re-reading it
+         costs new Petal reads. *)
+      let s0 = Fs.petal_stats a in
+      ignore (Fs.read a f ~off:65536 ~len:65536);
+      let s1 = Fs.petal_stats a in
+      Alcotest.(check bool) "prefetched data was discarded" true
+        Petal.Client.(s1.reads - s0.reads > 0))
+
+(* --- replica failure during a batched read ---------------------------------- *)
+
+let test_dead_replica_batched_read () =
+  Sim.run (fun () ->
+      let t, fs = one () in
+      let f = Fs.create fs ~dir:Fs.root "degraded" in
+      let size = 512 * 1024 in
+      let data = bytes_pat size 13 in
+      write_out fs f data;
+      (* Kill one Petal machine (a lock server dies with it; give
+         Paxos a beat), then sweep the file cold: every piece routed
+         to the dead primary fails over to its replica on its own 2 s
+         timeout, and pieces of one batch overlap their timeouts
+         instead of paying them in series. *)
+      Cluster.Host.crash t.T.petal.Petal.Testbed.hosts.(1);
+      Sim.sleep (Sim.sec 15.0);
+      Fs.drop_caches fs;
+      let t0 = Sim.now () in
+      for i = 0 to (size / 65536) - 1 do
+        let got = Fs.read fs f ~off:(i * 65536) ~len:65536 in
+        Alcotest.(check bool)
+          (Printf.sprintf "degraded data @%dK" (i * 64))
+          true
+          (Bytes.equal got (Bytes.sub data (i * 65536) 65536))
+      done;
+      (* ~9 chunks; serial per-piece failover would cost ~9 x 2 s on
+         top of the transfer. *)
+      Alcotest.(check bool) "failovers overlap within batches" true
+        (Sim.now () - t0 < Sim.sec 10.0))
+
+(* --- batched vs serial (UFS ablation) submission ----------------------------- *)
+
+let test_batched_beats_serial () =
+  let sweep serial =
+    Sim.run (fun () ->
+        let _, fs =
+          one
+            ~config:
+              { Ctx.default_config with Ctx.read_ahead_serial = serial }
+            ()
+        in
+        let f = Fs.create fs ~dir:Fs.root "race" in
+        let size = 2 * 1024 * 1024 in
+        write_out fs f (bytes_pat size 17);
+        let t0 = Sim.now () in
+        for i = 0 to (size / 65536) - 1 do
+          ignore (Fs.read fs f ~off:(i * 65536) ~len:65536)
+        done;
+        Sim.now () - t0)
+  in
+  let serial = sweep true and batched = sweep false in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched (%dns) < serial (%dns)" batched serial)
+    true (batched < serial)
+
+(* --- predictor table bounds --------------------------------------------------- *)
+
+let test_read_ahead_table_bounded () =
+  Sim.run (fun () ->
+      let _, fs = one () in
+      let n = Ctx.read_ahead_table_cap + 40 in
+      let files =
+        List.init n (fun i ->
+            let f = Fs.create fs ~dir:Fs.root (Printf.sprintf "t%d" i) in
+            Fs.write fs f ~off:0 (bytes_pat 512 i);
+            f)
+      in
+      List.iter (fun f -> ignore (Fs.read fs f ~off:0 ~len:512)) files;
+      Alcotest.(check bool) "predictor table capped" true
+        (Hashtbl.length fs.Ctx.read_ahead_next <= Ctx.read_ahead_table_cap);
+      let victim = List.nth files (n - 1) in
+      Alcotest.(check bool) "entry live before unlink" true
+        (Hashtbl.mem fs.Ctx.read_ahead_next victim);
+      Fs.unlink fs ~dir:Fs.root (Printf.sprintf "t%d" (n - 1));
+      Alcotest.(check bool) "unlink drops predictor entry" false
+        (Hashtbl.mem fs.Ctx.read_ahead_next victim);
+      let v2 = List.nth files (n - 2) in
+      Fs.truncate fs v2 ~size:0;
+      Alcotest.(check bool) "truncate-to-zero drops predictor entry" false
+        (Hashtbl.mem fs.Ctx.read_ahead_next v2))
+
+let () =
+  Alcotest.run "readpath"
+    [
+      ( "batched",
+        [
+          Alcotest.test_case "cold read is O(chunks) rpcs" `Quick
+            test_cold_read_rpc_count;
+          Alcotest.test_case "misaligned read coalesces" `Quick
+            test_misaligned_read_coalesces;
+          Alcotest.test_case "sparse holes in miss run" `Quick test_sparse_holes;
+          Alcotest.test_case "small/large boundary" `Quick
+            test_small_large_boundary;
+        ] );
+      ( "interaction",
+        [
+          Alcotest.test_case "revoke mid-batched-prefetch" `Quick
+            test_revoke_mid_prefetch;
+          Alcotest.test_case "dead replica during batched read" `Quick
+            test_dead_replica_batched_read;
+          Alcotest.test_case "batched beats serial read-ahead" `Quick
+            test_batched_beats_serial;
+          Alcotest.test_case "read-ahead table bounded" `Quick
+            test_read_ahead_table_bounded;
+        ] );
+    ]
