@@ -1,6 +1,7 @@
 (* Perf-regression gate over the BENCH_<n>.json trajectory.
 
      dune exec bench/check_regress.exe               -- two newest BENCH_*.json
+     dune exec bench/check_regress.exe -- --allow-missing   -- pass when < 2 files
      dune exec bench/check_regress.exe OLD.json NEW.json
 
    Compares per-workload "throughput_mb_per_s" between the two files
@@ -69,7 +70,7 @@ let parse_file path =
 
 (* BENCH_<n>.json, sorted by <n>; the two highest are (previous,
    current). *)
-let autodetect () =
+let autodetect ~allow_missing =
   let indexed =
     Sys.readdir "."
     |> Array.to_list
@@ -80,18 +81,27 @@ let autodetect () =
   in
   match List.rev indexed with
   | (_, cur) :: (_, prev) :: _ -> (prev, cur)
+  | _ when allow_missing ->
+    (* First PR on a branch, or a fresh checkout: nothing to compare
+       against is not a regression. *)
+    print_endline
+      "check_regress: fewer than two BENCH_<n>.json files, nothing to compare \
+       (--allow-missing)";
+    exit 0
   | _ ->
     prerr_endline
-      "check_regress: need two BENCH_<n>.json files (or pass OLD NEW)";
+      "check_regress: need two BENCH_<n>.json files (or pass OLD NEW, or \
+       --allow-missing)";
     exit 2
 
 let () =
   let prev_file, cur_file =
     match Sys.argv with
-    | [| _ |] -> autodetect ()
+    | [| _ |] -> autodetect ~allow_missing:false
+    | [| _; "--allow-missing" |] -> autodetect ~allow_missing:true
     | [| _; a; b |] -> (a, b)
     | _ ->
-      prerr_endline "usage: check_regress [OLD.json NEW.json]";
+      prerr_endline "usage: check_regress [--allow-missing | OLD.json NEW.json]";
       exit 2
   in
   let prev = parse_file prev_file and cur = parse_file cur_file in

@@ -118,4 +118,5 @@ let write t ~off data =
   let s0 = off / sector_size and s1 = (off + Bytes.length data) / sector_size in
   for s = s0 to s1 - 1 do
     Hashtbl.remove t.damaged s
-  done
+  done;
+  Faultpoint.hit "disk.write"

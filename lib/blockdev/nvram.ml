@@ -26,6 +26,7 @@ let destager st () =
       | None -> () (* superseded by a newer write at the same offset *)
       | Some data ->
         Disk.write st.disk ~off data;
+        Faultpoint.hit "nvram.destage";
         (* Only drop the entry if it was not overwritten while the
            disk write was in flight. *)
         (match Hashtbl.find_opt st.table off with
@@ -59,7 +60,8 @@ let write st ~off data =
   Hashtbl.replace st.table off (Bytes.copy data);
   st.used <- st.used + len;
   Queue.push off st.order;
-  Sim.Condition.broadcast st.work
+  Sim.Condition.broadcast st.work;
+  Faultpoint.hit "nvram.write"
 
 let read st ~off ~len =
   (* Exact-offset hit serves straight from NVRAM; any partial overlap

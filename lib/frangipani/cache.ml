@@ -276,6 +276,7 @@ let write_runs t runs ~on_run_done =
   let rec submit = function
     | [] -> ()
     | run :: rest -> (
+      Faultpoint.hit "cache.write_run";
       let gens = List.map (fun e -> (e, e.gen)) run in
       let data = Bytes.concat Bytes.empty (List.map (fun e -> e.data) run) in
       match Petal.Client.write_async t.vd ~off:(List.hd run).addr data with

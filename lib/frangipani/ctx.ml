@@ -46,6 +46,10 @@ type t = {
       (** lease expired with dirty data: all operations fail until
           unmount (§6) *)
   mutable unmounted : bool;
+  mutable recov_runs : int;  (** recovery replays started on this server *)
+  mutable recov_applied : int;  (** diffs whose version won (written) *)
+  mutable recov_skipped : int;  (** diffs already on disk (version check) *)
+  mutable recov_torn : int;  (** replays whose log ended in a torn record *)
   read_ahead_next : (int, int) Hashtbl.t;  (** inum -> predicted next offset *)
   read_ahead_order : int Queue.t;
       (** insertion order of [read_ahead_next] keys, for eviction *)

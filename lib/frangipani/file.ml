@@ -12,17 +12,23 @@ let small_pool ~meta = if meta then Layout.Small_meta else Layout.Small_data
 let large_pool ~meta = if meta then Layout.Large_meta else Layout.Large_data
 
 (* Petal address of the file block containing byte [boff] (block
-   aligned), if mapped. *)
+   aligned), if mapped. Which address pool a block number refers to
+   is determined by the inode type: only directories keep content in
+   the metadata pools (symlink targets are inline). *)
 let block_addr (ino : Ondisk.inode) ~boff =
+  let meta = ino.itype = Ondisk.Dir in
   if boff < Layout.small_area_per_file then begin
     match ino.small.(boff / Layout.small_block) with
     | 0 -> None
-    | v -> Some (Layout.small_addr (v - 1))
+    | v -> Some (Layout.small_addr (small_pool ~meta) (v - 1))
   end
   else
     match ino.large with
     | 0 -> None
-    | v -> Some (Layout.large_addr (v - 1) + boff - Layout.small_area_per_file)
+    | v ->
+      Some
+        (Layout.large_addr (large_pool ~meta) (v - 1)
+        + boff - Layout.small_area_per_file)
 
 (* Ensure the block containing [boff] is mapped, allocating (in its
    own transaction) if needed. [meta] selects the directory pools.
@@ -39,13 +45,15 @@ let ensure_block ctx inum (ino : Ondisk.inode) ~boff ~meta =
           small.(boff / Layout.small_block) <- b + 1;
           let ino = { ino with small } in
           Inode.write ctx txn inum ino;
-          (ino, Layout.small_addr b)
+          (ino, Layout.small_addr (small_pool ~meta) b)
         end
         else begin
           let l = Alloc.alloc ctx txn (large_pool ~meta) in
           let ino = { ino with large = l + 1 } in
           Inode.write ctx txn inum ino;
-          (ino, Layout.large_addr l + boff - Layout.small_area_per_file)
+          ( ino,
+            Layout.large_addr (large_pool ~meta) l
+            + boff - Layout.small_area_per_file )
         end)
 
 (* Split [off, off+len) into block-aligned pieces:

@@ -27,6 +27,21 @@ let cache_stats (ctx : t) = Cache.stats ctx.Ctx.cache
 let petal_stats (ctx : t) = Petal.Client.op_stats ctx.Ctx.vd
 let is_poisoned (ctx : t) = ctx.Ctx.poisoned
 
+type recovery_stats = {
+  replays : int;  (** recovery replays started on this server *)
+  diffs_applied : int;
+  diffs_skipped : int;  (** version check said already on disk *)
+  torn_tails : int;  (** replays whose log ended in a torn record *)
+}
+
+let recovery_stats (ctx : t) =
+  {
+    replays = ctx.Ctx.recov_runs;
+    diffs_applied = ctx.Ctx.recov_applied;
+    diffs_skipped = ctx.Ctx.recov_skipped;
+    torn_tails = ctx.Ctx.recov_torn;
+  }
+
 (* --- formatting --------------------------------------------------------- *)
 
 let format vd =
@@ -527,6 +542,10 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
       readonly;
       poisoned = false;
       unmounted = false;
+      recov_runs = 0;
+      recov_applied = 0;
+      recov_skipped = 0;
+      recov_torn = 0;
       read_ahead_next = Hashtbl.create 64;
       read_ahead_order = Queue.create ();
       prefetch_inflight = Hashtbl.create 64;
@@ -534,9 +553,7 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
   in
   Clerk.set_callbacks clerk
     ~on_revoke:(fun ~lock ~to_read -> on_revoke ctx ~lock ~to_read)
-    ~on_do_recovery:(fun ~dead_lease ->
-      try Recovery.run ctx ~dead_lease
-      with Error _ | Types.Lease_expired | Petal.Protocol.Unavailable _ -> ())
+    ~on_do_recovery:(fun ~dead_lease -> Recovery.run ctx ~dead_lease)
     ~on_expired:(fun () ->
       on_expired ctx ();
       poisoned_ref := ctx.Ctx.poisoned);

@@ -113,6 +113,17 @@ val petal_stats : t -> Petal.Client.stats
 
 val is_poisoned : t -> bool
 
+type recovery_stats = {
+  replays : int;  (** recovery replays started on this server *)
+  diffs_applied : int;
+  diffs_skipped : int;  (** version check said already on disk *)
+  torn_tails : int;  (** replays whose log ended in a torn record *)
+}
+
+val recovery_stats : t -> recovery_stats
+(** Counters from this server's recovery demon (replays of other
+    servers' logs it has performed). *)
+
 val drop_caches : t -> unit
 (** Evict all clean cached blocks (used by the uncached-read
     experiments, Figure 6). *)

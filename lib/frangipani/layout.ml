@@ -50,17 +50,40 @@ let log_addr ~slot =
 let max_inodes = 1 lsl 31
 let inode_addr inum = inode_base + (inum * inode_size)
 
+type pool = Inode_pool | Small_meta | Small_data | Large_meta | Large_data
+
 (* Small-block pools: the first 2^20 small blocks (4 GB) are the
-   metadata pool (directory blocks), the rest hold file data. *)
+   metadata pool (directory blocks), the rest hold file data. The
+   pools address disjoint block ranges, so a freed metadata block can
+   only ever be reallocated as metadata (§4's reuse rule is
+   structural, not a convention the allocator must remember). *)
 let small_meta_count = 1 lsl 20
 let small_data_count = (1 lsl 35) - small_meta_count
-let small_addr b = small_base + (b * small_block)
+
+let small_addr pool b =
+  match pool with
+  | Small_meta ->
+    assert (b >= 0 && b < small_meta_count);
+    small_base + (b * small_block)
+  | Small_data ->
+    assert (b >= 0 && b < small_data_count);
+    small_base + ((small_meta_count + b) * small_block)
+  | Inode_pool | Large_meta | Large_data -> invalid_arg "Layout.small_addr"
 
 (* Large-block pools: the first 2^10 large blocks are the metadata
    pool (oversized directories), the rest hold file data. *)
 let large_meta_count = 1 lsl 10
 let large_data_count = ((1 lsl 62) - large_base) / large_block - large_meta_count
-let large_addr l = large_base + (l * large_block)
+
+let large_addr pool l =
+  match pool with
+  | Large_meta ->
+    assert (l >= 0 && l < large_meta_count);
+    large_base + (l * large_block)
+  | Large_data ->
+    assert (l >= 0 && l < large_data_count);
+    large_base + ((large_meta_count + l) * large_block)
+  | Inode_pool | Small_meta | Small_data -> invalid_arg "Layout.large_addr"
 
 (* --- allocation bitmaps ------------------------------------------------ *)
 
@@ -69,8 +92,6 @@ let large_addr l = large_base + (l * large_block)
 let bits_per_sector = 504 * 8
 let sectors_per_segment = 8
 let bits_per_segment = bits_per_sector * sectors_per_segment
-
-type pool = Inode_pool | Small_meta | Small_data | Large_meta | Large_data
 
 let pool_index = function
   | Inode_pool -> 0

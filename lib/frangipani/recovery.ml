@@ -5,19 +5,29 @@
     replays the log from Petal, and applies each diff only where the
     on-disk sector's version number is older than the record's — so
     updates that already reached Petal (or were superseded) are never
-    redone, and replaying a log twice is harmless. *)
+    redone, and replaying a log twice is harmless.
+
+    A replay that aborts (our own lease margin ran out, Petal
+    unreachable, this host crashed) releases the log lock and lets
+    the exception propagate: the clerk then stays silent instead of
+    announcing completion, and the lock server's nag loop re-issues
+    the recovery — here or on another live server — until someone
+    finishes it. *)
 
 open Stdext
 
 let apply_diff ctx (d : Wal.diff) =
+  Simkit.Faultpoint.hit "recovery.apply";
   let sector = Petal.Client.read ctx.Ctx.vd ~off:d.addr ~len:Layout.sector in
   if Codec.get_int sector 0 < d.version then begin
     Bytes.blit d.data 0 sector d.doff (Bytes.length d.data);
     Codec.put_int sector 0 d.version;
     if not (Locksvc.Clerk.check_lease_margin ctx.Ctx.clerk) then
       Errors.fail Errors.Eio;
-    Petal.Client.write ctx.Ctx.vd ~off:d.addr sector
+    Petal.Client.write ctx.Ctx.vd ~off:d.addr sector;
+    ctx.Ctx.recov_applied <- ctx.Ctx.recov_applied + 1
   end
+  else ctx.Ctx.recov_skipped <- ctx.Ctx.recov_skipped + 1
 
 let run ctx ~dead_lease =
   let slot = dead_lease mod Layout.max_servers in
@@ -29,8 +39,14 @@ let run ctx ~dead_lease =
   Fun.protect
     ~finally:(fun () -> Locksvc.Clerk.release ctx.Ctx.clerk ~lock Locksvc.Types.W)
     (fun () ->
-      let diffs = Wal.scan ctx.Ctx.vd ~slot in
-      List.iter (apply_diff ctx) diffs;
+      let report = Wal.scan_report ctx.Ctx.vd ~slot in
+      ctx.Ctx.recov_runs <- ctx.Ctx.recov_runs + 1;
+      if report.Wal.torn then ctx.Ctx.recov_torn <- ctx.Ctx.recov_torn + 1;
+      List.iter (apply_diff ctx) report.Wal.diffs;
       Logs.info (fun m ->
-          m "%s: replayed %d diffs from slot %d"
-            (Cluster.Host.name ctx.Ctx.host) (List.length diffs) slot))
+          m "%s: replayed %d diffs (%d records, %d live sectors%s) from slot %d"
+            (Cluster.Host.name ctx.Ctx.host)
+            (List.length report.Wal.diffs)
+            report.Wal.records report.Wal.live_sectors
+            (if report.Wal.torn then ", torn tail" else "")
+            slot))

@@ -81,6 +81,30 @@ let rec flush t =
     let highest_rid = t.next_rid in
     t.pending <- [];
     t.pending_bytes <- 0;
+    match write_records t records with
+    | () ->
+      t.flushed_rid <- max t.flushed_rid highest_rid;
+      t.flushing <- false;
+      Sim.Condition.broadcast t.flush_done;
+      (* More records may have been appended while we were writing. *)
+      flush t
+    | exception ex ->
+      (* The host died or Petal became unreachable mid-commit: put
+         the batch back so a later flush retries it (sectors that
+         already landed are rewritten under fresh LSNs — replay is
+         version-checked, so duplicates are harmless), and wake the
+         other flushers so they retry or observe the failure instead
+         of parking on [flush_done] forever. *)
+      t.pending <- t.pending @ List.rev records;
+      t.pending_bytes <-
+        t.pending_bytes
+        + List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 records;
+      t.flushing <- false;
+      Sim.Condition.broadcast t.flush_done;
+      raise ex
+  end
+
+and write_records t records =
     (* Concatenate the records, remembering where each starts and
        which record each byte belongs to. *)
     let total = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 records in
@@ -165,7 +189,8 @@ let rec flush t =
       List.iter
         (fun (addr0, run) ->
           Petal.Client.write t.vd ~off:addr0
-            (Bytes.concat Bytes.empty (List.map snd run)))
+            (Bytes.concat Bytes.empty (List.map snd run));
+          Faultpoint.hit "wal.commit")
         (runs sectors);
       (* Account durability per written sector. *)
       List.iter
@@ -182,15 +207,10 @@ let rec flush t =
         sectors;
       s := !s + n;
       t.next_lsn <- base_lsn + !s
-    done;
-    t.flushed_rid <- max t.flushed_rid highest_rid;
-    t.flushing <- false;
-    Sim.Condition.broadcast t.flush_done;
-    (* More records may have been appended while we were writing. *)
-    flush t
-  end
+    done
 
 let append t diffs =
+  Faultpoint.hit "wal.append";
   t.next_rid <- t.next_rid + 1;
   let rid = t.next_rid in
   let b = serialize_record diffs in
@@ -200,7 +220,10 @@ let append t diffs =
   rid
 
 let ensure_flushed t rid =
-  while rid > t.flushed_rid do
+  (* If a crash discarded the pending tail, the records can never
+     become durable: return (rather than spin) and let the caller run
+     into the dead host's failure on its next I/O. *)
+  while rid > t.flushed_rid && (t.flushing || t.pending <> []) do
     flush t
   done
 
@@ -210,15 +233,25 @@ let discard_volatile t =
 
 (* --- recovery-side scan -------------------------------------------------- *)
 
-let scan vd ~slot =
+type scan_report = {
+  diffs : diff list;
+  records : int;  (* complete records decoded *)
+  live_sectors : int;  (* CRC-valid sectors in the replay window *)
+  torn : bool;  (* the stream ended inside an incomplete or garbled record *)
+}
+
+let scan_report vd ~slot =
   let base = Layout.log_addr ~slot in
   let raw = Petal.Client.read vd ~off:base ~len:Layout.log_bytes in
   let sectors = ref [] in
   for i = 0 to Layout.log_sectors - 1 do
     let b = Bytes.sub raw (i * Layout.sector) Layout.sector in
     let lsn = Codec.get_int b 0 in
-    if lsn > 0 && Codec.get_u32 b 508 = Crc32.bytes b 0 508 then
-      sectors := (lsn, b) :: !sectors
+    if
+      lsn > 0
+      && Codec.get_u16 b 10 <= payload_cap
+      && Codec.get_u32 b 508 = Crc32.bytes b 0 508
+    then sectors := (lsn, b) :: !sectors
   done;
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !sectors in
   (* Maximal run of consecutive LSNs ending at the highest one. *)
@@ -232,7 +265,7 @@ let scan vd ~slot =
     |> List.rev
   in
   match live with
-  | [] -> []
+  | [] -> { diffs = []; records = 0; live_sectors = 0; torn = false }
   | _ ->
     let payloads =
       List.map
@@ -254,23 +287,61 @@ let scan vd ~slot =
       in
       find 0 live payloads
     in
-    let diffs = ref [] in
+    (* Decode records strictly, stopping at the first inconsistency:
+       a crash mid-group-commit leaves a torn tail (a length header
+       or record body cut off at the last durable sector), and replay
+       must apply exactly the valid prefix rather than raise. *)
+    let n = Bytes.length stream in
+    let diffs = ref [] and records = ref 0 and torn = ref false in
     let pos = ref start in
     (try
-       while !pos + 4 <= Bytes.length stream do
+       while !pos < n do
+         if !pos + 4 > n then begin
+           torn := true;
+           raise Exit
+         end;
          let len = Codec.get_u32 stream !pos in
-         if !pos + 4 + len > Bytes.length stream then raise Exit;
+         if len < 2 || !pos + 4 + len > n then begin
+           torn := true;
+           raise Exit
+         end;
+         let stop = !pos + 4 + len in
          let r = Codec.R.of_bytes ~pos:(!pos + 4) stream in
-         let ndiffs = Codec.R.u16 r in
-         for _ = 1 to ndiffs do
-           let addr = Codec.R.int r in
-           let doff = Codec.R.u16 r in
-           let dlen = Codec.R.u16 r in
-           let version = Codec.R.int r in
-           let data = Codec.R.bytes r dlen in
-           diffs := { addr; doff; data; version } :: !diffs
-         done;
-         pos := !pos + 4 + len
+         let rdiffs = ref [] in
+         (match
+            let ndiffs = Codec.R.u16 r in
+            for _ = 1 to ndiffs do
+              let addr = Codec.R.int r in
+              let doff = Codec.R.u16 r in
+              let dlen = Codec.R.u16 r in
+              let version = Codec.R.int r in
+              if
+                addr < 0
+                || addr mod Layout.sector <> 0
+                || doff + dlen > Layout.sector
+                || version <= 0
+              then raise Exit;
+              let data = Codec.R.bytes r dlen in
+              rdiffs := { addr; doff; data; version } :: !rdiffs
+            done
+          with
+         | () when Codec.R.pos r = stop ->
+           diffs := !rdiffs @ !diffs;
+           incr records;
+           pos := stop
+         | () ->
+           torn := true;
+           raise Exit
+         | exception (Exit | Codec.R.Underflow) ->
+           torn := true;
+           raise Exit)
        done
-     with Exit | Codec.R.Underflow -> ());
-    List.rev !diffs
+     with Exit -> ());
+    {
+      diffs = List.rev !diffs;
+      records = !records;
+      live_sectors = List.length live;
+      torn = !torn;
+    }
+
+let scan vd ~slot = (scan_report vd ~slot).diffs

@@ -55,9 +55,23 @@ val last_rid : t -> int
 val discard_volatile : t -> unit
 (** Crash simulation: drop the in-memory tail (unwritten records). *)
 
+type scan_report = {
+  diffs : diff list;  (** diffs of all complete records, in log order *)
+  records : int;  (** complete records decoded *)
+  live_sectors : int;  (** CRC-valid sectors in the replay window *)
+  torn : bool;
+      (** the stream ended inside an incomplete or garbled record — a
+          crash mid-group-commit; the valid prefix is in [diffs] *)
+}
+
+val scan_report : Petal.Client.vdisk -> slot:int -> scan_report
+(** Recovery: read a log region and decode the live window. Decoding
+    is strict (lengths, alignment, versions) and stops at the first
+    inconsistency rather than raising, so recovery after a crash
+    mid-commit replays the valid prefix. *)
+
 val scan : Petal.Client.vdisk -> slot:int -> diff list
-(** Recovery: read a log region and return the diffs of all complete
-    records in the live window, in log order. *)
+(** [(scan_report vd ~slot).diffs]. *)
 
 val serialize_for_bench : diff list -> bytes
 (** The record serializer, exposed for the microbenchmark harness. *)

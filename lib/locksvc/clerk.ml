@@ -70,28 +70,35 @@ let lstate t lid =
 
 let owner t lid = owner_of ~servers:t.servers ~ngroups:t.ngroups ~table:t.ctable ~lock:lid
 
+(* Both sends are fire-and-forget and may run in helper processes
+   that outlive a crash of this host (retransmit loops, revoke
+   completions): a dead host simply sends nothing. *)
 let send_request t st mode ~for_recovery =
   match owner t st.lid with
   | None -> ()
-  | Some dst ->
+  | Some dst -> (
     st.wanted <- Some mode;
     st.requested_at <- Sim.now ();
-    Rpc.oneway t.rpc ~dst ~size:msg
-      (L_request
-         {
-           table = t.ctable;
-           lease = t.clease;
-           lock = st.lid;
-           mode;
-           for_recovery = for_recovery || st.recovery;
-         })
+    try
+      Rpc.oneway t.rpc ~dst ~size:msg
+        (L_request
+           {
+             table = t.ctable;
+             lease = t.clease;
+             lock = st.lid;
+             mode;
+             for_recovery = for_recovery || st.recovery;
+           })
+    with Host.Crashed _ -> ())
 
 let send_release t st to_mode =
   match owner t st.lid with
   | None -> ()
-  | Some dst ->
-    Rpc.oneway t.rpc ~dst ~size:msg
-      (L_release { table = t.ctable; lease = t.clease; lock = st.lid; to_mode })
+  | Some dst -> (
+    try
+      Rpc.oneway t.rpc ~dst ~size:msg
+        (L_release { table = t.ctable; lease = t.clease; lock = st.lid; to_mode })
+    with Host.Crashed _ -> ())
 
 (* Can a local user in [mode] start right now? *)
 let admissible st mode =
@@ -192,16 +199,22 @@ let acquire t ~lock mode =
   check_usable t
 
 let release t ~lock mode =
-  let st = lstate t lock in
-  (match mode with
-  | R ->
-    assert (st.readers > 0);
-    st.readers <- st.readers - 1
-  | W ->
-    assert st.writer;
-    st.writer <- false);
-  st.last_used <- Sim.now ();
-  pump t st
+  (* After a crash the lock table was reset (the lease is dead and
+     the holdings gone); a surviving process unwinding through its
+     release must not re-create state for — or trip asserts on — a
+     lock it no longer holds. *)
+  if not t.closed then begin
+    let st = lstate t lock in
+    (match mode with
+    | R ->
+      assert (st.readers > 0);
+      st.readers <- st.readers - 1
+    | W ->
+      assert st.writer;
+      st.writer <- false);
+    st.last_used <- Sim.now ();
+    pump t st
+  end
 
 let acquire_for_recovery t ~lock =
   check_usable t;
@@ -254,17 +267,22 @@ let on_do_recovery_msg t ~dead_lease =
   if not (Hashtbl.mem t.recoveries dead_lease) then begin
     Hashtbl.replace t.recoveries dead_lease ();
     Sim.spawn (fun () ->
-        try
-          t.on_do_recovery ~dead_lease;
-          (* Only announce completion if we are still alive: a
-             half-done recovery must be re-run elsewhere. *)
+        match t.on_do_recovery ~dead_lease with
+        | () ->
+          (* Only a completed replay is announced; the lock server
+             then frees the dead server's locks and stops nagging. *)
           List.iter
             (fun dst ->
               Rpc.oneway t.rpc ~dst ~size:msg
                 (L_recovered { table = t.ctable; dead_lease }))
             t.servers;
           Hashtbl.remove t.recoveries dead_lease
-        with Host.Crashed _ -> ())
+        | exception Host.Crashed _ -> ()
+        | exception _ ->
+          (* The replay aborted (our lease margin ran out, Petal
+             unreachable): stay silent and forget it, so the lock
+             server's nag re-issues the recovery here or elsewhere. *)
+          Hashtbl.remove t.recoveries dead_lease)
   end
 
 let expire t =
@@ -321,6 +339,9 @@ let sync_once t =
 
 let housekeeping t () =
   let last_renew = ref 0 and last_sync = ref 0 in
+  (* The host can crash at any instant — including while this demon
+     is between its liveness check and an RPC; the raise just ends
+     the demon. *)
   let rec loop () =
     Sim.sleep (Sim.sec 1.0);
     if (not t.closed) && Host.is_alive t.host then begin
@@ -360,7 +381,7 @@ let housekeeping t () =
       loop ()
     end
   in
-  loop ()
+  try loop () with Host.Crashed _ -> ()
 
 (* All clerks sharing one RPC endpoint (one machine mounting several
    file systems, §3): the lock servers query lock state per machine,
@@ -451,6 +472,14 @@ let create ~rpc ~servers ~table:ctable () =
      answer state queries with stale holdings. *)
   Host.on_crash host (fun () ->
       t.closed <- true;
+      (* Processes parked in [acquire] would otherwise wait forever
+         for a grant that died with the host: wake them so they
+         observe [Lease_expired] from [check_usable] and unwind. *)
+      Hashtbl.iter
+        (fun _ st ->
+          Queue.iter (fun (_, k) -> k ()) st.waiting;
+          Queue.clear st.waiting)
+        t.locks;
       Hashtbl.reset t.locks);
   Sim.spawn ~name:"clerk.housekeeping" (housekeeping t);
   t

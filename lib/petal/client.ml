@@ -292,6 +292,7 @@ let write_async v ~off data =
     try
       List.iter
         (fun (chunk, within, n) ->
+          Faultpoint.hit "petal.write_piece";
           let piece = Bytes.sub data !pos n in
           pos := !pos + n;
           let expires = v.c.write_guard () in
@@ -326,6 +327,7 @@ let decommit_async v ~off ~len =
     try
       List.iter
         (fun (chunk, _, _) ->
+          Faultpoint.hit "petal.decommit_piece";
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:small
             ~req_of:(fun ~solo ->
               Decommit_req { root = v.root; chunk; forward = not solo })

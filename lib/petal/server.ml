@@ -177,6 +177,7 @@ let repair_chunk t ~root ~chunk ~data =
 (* Write [data] into the chunk under epoch tag [epoch], copying an
    older extent first if a snapshot pinned it (copy-on-write). *)
 let write_chunk t ~root ~chunk ~within ~data ~epoch =
+  Faultpoint.hit "petal.chunk_write";
   with_chunk_lock t (root, chunk) @@ fun () ->
   let vl = versions t (root, chunk) in
   let whole = Bytes.length data = chunk_bytes && within = 0 in
@@ -213,6 +214,7 @@ let write_chunk t ~root ~chunk ~within ~data ~epoch =
     vl := place current
 
 let decommit_chunk t ~root ~chunk ~epoch =
+  Faultpoint.hit "petal.chunk_decommit";
   with_chunk_lock t (root, chunk) @@ fun () ->
   let vl = versions t (root, chunk) in
   match !vl with

@@ -1,0 +1,49 @@
+(* The exhaustive recovery sweep: crash the server at EVERY
+   faultpoint hit the standard workload crosses, one simulation per
+   crash point, and verify each one recovers fsck-clean with synced
+   data intact and an idempotent replay.
+
+   Too slow for tier-1 `dune runtest`; run it from the verify
+   workflow with:  dune exec test/test_crashsweep_full.exe
+   (optionally `-- --stride S` to thin the sweep). *)
+
+module Sweep = Workloads.Crashsweep
+
+let () =
+  let stride = ref 1 in
+  let () =
+    Arg.parse
+      [ ("--stride", Arg.Set_int stride, "N  crash at every Nth hit (default 1)") ]
+      (fun a -> raise (Arg.Bad a))
+      "test_crashsweep_full [--stride N]"
+  in
+  let sweep ~nvram label =
+    let counting = Sweep.run ~nvram () in
+    (match Sweep.failures counting with
+    | [] -> ()
+    | fs ->
+      List.iter (Printf.eprintf "%s counting run: %s\n" label) fs;
+      exit 1);
+    let n = counting.Sweep.total_hits in
+    Printf.printf "%s sweep: %d crash points, stride %d\n%!" label n !stride;
+    List.iter
+      (fun (site, c) -> Printf.printf "  %-22s %d\n" site c)
+      counting.Sweep.sites;
+    let failed = ref 0 and ran = ref 0 in
+    let k = ref 1 in
+    while !k <= n do
+      let o = Sweep.run ~crash_at:!k ~nvram () in
+      incr ran;
+      (match Sweep.failures o with
+      | [] -> ()
+      | fs ->
+        incr failed;
+        List.iter (Printf.printf "FAIL (%s) at hit %d: %s\n%!" label !k) fs);
+      if !ran mod 25 = 0 then Printf.printf "  ... %d/%d\n%!" !k n;
+      k := !k + !stride
+    done;
+    Printf.printf "%s sweep: %d runs, %d failures\n%!" label !ran !failed;
+    !failed
+  in
+  let failed = sweep ~nvram:false "disk" + sweep ~nvram:true "nvram" in
+  if failed > 0 then exit 1

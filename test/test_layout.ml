@@ -42,14 +42,51 @@ let test_extremes_in_bounds () =
   let last_inode = Layout.inode_addr (Layout.max_inodes - 1) in
   Alcotest.(check bool) "last inode" true
     (last_inode + Layout.inode_size <= Layout.small_base);
-  let last_small = Layout.small_addr (Layout.small_meta_count + Layout.small_data_count - 1) in
+  let last_small =
+    Layout.small_addr Layout.Small_data (Layout.small_data_count - 1)
+  in
   Alcotest.(check bool) "last small block" true
     (last_small + Layout.small_block <= Layout.large_base);
   let last_large =
-    Layout.large_addr (Layout.large_meta_count + Layout.large_data_count - 1)
+    Layout.large_addr Layout.Large_data (Layout.large_data_count - 1)
   in
   Alcotest.(check bool) "last large block" true
     (last_large + Layout.large_block <= 1 lsl 62)
+
+let test_pools_disjoint () =
+  (* §4's reuse rule, structurally: across the FULL index space of
+     each pool pair, a metadata block number and a data block number
+     can never map to the same Petal address. The pools are
+     contiguous and ordered, so disjointness of the whole index space
+     reduces to the boundary blocks. *)
+  let last_meta = Layout.small_addr Layout.Small_meta (Layout.small_meta_count - 1) in
+  let first_data = Layout.small_addr Layout.Small_data 0 in
+  Alcotest.(check bool) "small pools ordered" true
+    (last_meta + Layout.small_block <= first_data);
+  Alcotest.(check int) "small pools adjacent (no wasted range)"
+    (last_meta + Layout.small_block) first_data;
+  Alcotest.(check int) "small meta starts the region" Layout.small_base
+    (Layout.small_addr Layout.Small_meta 0);
+  let last_lmeta = Layout.large_addr Layout.Large_meta (Layout.large_meta_count - 1) in
+  let first_ldata = Layout.large_addr Layout.Large_data 0 in
+  Alcotest.(check bool) "large pools ordered" true
+    (last_lmeta + Layout.large_block <= first_ldata);
+  Alcotest.(check int) "large pools adjacent" (last_lmeta + Layout.large_block)
+    first_ldata;
+  (* Exhaustive over the (small) metadata pool: every metadata
+     address precedes every data address. *)
+  for b = 0 to Layout.small_meta_count - 1 do
+    assert (Layout.small_addr Layout.Small_meta b < first_data)
+  done
+
+let prop_pools_disjoint =
+  QCheck.Test.make ~name:"small meta/data addresses never collide" ~count:1000
+    QCheck.(pair (int_bound (Layout.small_meta_count - 1))
+              (int_bound (1 lsl 30)))
+    (fun (m, d) ->
+      let d = d mod Layout.small_data_count in
+      Layout.small_addr Layout.Small_meta m
+      <> Layout.small_addr Layout.Small_data d)
 
 let prop_bitmap_math =
   QCheck.Test.make ~name:"bitmap sector/segment math is consistent" ~count:500
@@ -90,7 +127,7 @@ let prop_lock_ids_unique =
           Lockns.inode_lock inum;
           Lockns.bitmap_lock (Layout.global_segment pool seg);
           Lockns.log_lock slot;
-          Lockns.block_lock (Layout.small_addr 12345);
+          Lockns.block_lock (Layout.small_addr Layout.Small_data 12345);
         ]
       in
       List.length (List.sort_uniq compare ids) = 5)
@@ -135,6 +172,8 @@ let () =
           Alcotest.test_case "regions ordered" `Quick test_regions_ordered_and_disjoint;
           Alcotest.test_case "log slots disjoint" `Quick test_log_slots_disjoint;
           Alcotest.test_case "extremes in bounds" `Quick test_extremes_in_bounds;
+          Alcotest.test_case "meta/data pools disjoint" `Quick test_pools_disjoint;
+          QCheck_alcotest.to_alcotest prop_pools_disjoint;
           QCheck_alcotest.to_alcotest prop_bitmap_math;
         ] );
       ("lockns", [ QCheck_alcotest.to_alcotest prop_lock_ids_unique ]);

@@ -110,6 +110,81 @@ let test_lease_check_blocks_writes () =
          Alcotest.fail "expected EIO"
        with Errors.Error Errors.Eio -> ()))
 
+(* A crash mid-group-commit leaves the tail of a multi-sector record
+   missing: scan must report the torn tail and replay exactly the
+   valid prefix rather than raise. Simulated by zeroing the last log
+   sector after a flush of one small record plus one record big
+   enough to span several sectors. *)
+let test_torn_tail_replays_prefix () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w = Wal.create ~vd ~slot:3 ~synchronous:false ~lease_ok:(fun () -> true) in
+      ignore (Wal.append w [ d 1 ]);
+      ignore
+        (Wal.append w
+           [
+             diff (Layout.inode_addr 10) 0 (Bytes.make 500 'a') 11;
+             diff (Layout.inode_addr 11) 0 (Bytes.make 500 'b') 12;
+             diff (Layout.inode_addr 12) 0 (Bytes.make 500 'c') 13;
+           ]);
+      Wal.flush w;
+      let whole = Wal.scan_report vd ~slot:3 in
+      Alcotest.(check bool) "intact log not torn" false whole.Wal.torn;
+      Alcotest.(check int) "intact log has both records" 2 whole.Wal.records;
+      (* Tear off the last sector of the log (the big record's tail). *)
+      let last = Layout.log_addr ~slot:3 + ((whole.Wal.live_sectors - 1) * Layout.sector) in
+      Petal.Client.write vd ~off:last (Bytes.make Layout.sector '\000');
+      let torn = Wal.scan_report vd ~slot:3 in
+      Alcotest.(check bool) "torn tail detected" true torn.Wal.torn;
+      Alcotest.(check int) "only the complete record survives" 1 torn.Wal.records;
+      Alcotest.(check int) "its single diff is the prefix" 1
+        (List.length torn.Wal.diffs);
+      Alcotest.(check int) "prefix diff is record 1" 2
+        (List.hd torn.Wal.diffs).Wal.version)
+
+(* A sector whose CRC happens to validate but whose header claims an
+   impossible payload length must be excluded from the live window,
+   not crash the scanner (it used to raise Invalid_argument from
+   Bytes.sub). *)
+let test_garbage_sector_with_valid_crc () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let b = Bytes.make Layout.sector '\000' in
+      Stdext.Codec.put_int b 0 1 (* lsn 1 *);
+      Stdext.Codec.put_u16 b 8 0 (* first_rec 0 *);
+      Stdext.Codec.put_u16 b 10 5000 (* payload "length" way past the cap *);
+      Stdext.Codec.put_u32 b 508 (Stdext.Crc32.bytes b 0 508);
+      Petal.Client.write vd ~off:(Layout.log_addr ~slot:0) b;
+      let r = Wal.scan_report vd ~slot:0 in
+      Alcotest.(check int) "garbage sector not live" 0 r.Wal.live_sectors;
+      Alcotest.(check (list string)) "no diffs" []
+        (List.map (fun (x : Wal.diff) -> Bytes.to_string x.Wal.data) r.Wal.diffs))
+
+(* A failed flush (host died mid-commit) must release the
+   group-commit latch and put the batch back: a second flush attempt
+   fails the same way instead of wedging forever, and ensure_flushed
+   does not spin. *)
+let test_flush_failure_releases_group_commit () =
+  Sim.run (fun () ->
+      let net = Cluster.Net.create () in
+      let tb = Petal.Testbed.build ~net ~nservers:3 ~ndisks:2 () in
+      let h = Cluster.Host.create "walclient" in
+      let rpc = Cluster.Rpc.create (Cluster.Net.attach net h) in
+      let c = Petal.Testbed.client tb ~rpc in
+      let vd = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
+      let w = Wal.create ~vd ~slot:0 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let r = Wal.append w [ d 1 ] in
+      Cluster.Host.crash h;
+      (match Wal.flush w with
+      | () -> Alcotest.fail "flush from a dead host should fail"
+      | exception Cluster.Host.Crashed _ -> ());
+      (match Wal.ensure_flushed w r with
+      | () -> Alcotest.fail "ensure_flushed should propagate the failure"
+      | exception Cluster.Host.Crashed _ -> ());
+      (match Wal.flush w with
+      | () -> Alcotest.fail "flush should fail again, not wedge"
+      | exception Cluster.Host.Crashed _ -> ()))
+
 let prop_scan_returns_complete_prefix_records =
   QCheck.Test.make ~name:"random record sizes survive the sector packer" ~count:25
     QCheck.(list_of_size Gen.(int_range 1 60) (int_range 1 400))
@@ -143,6 +218,12 @@ let () =
           Alcotest.test_case "isolated slots" `Quick test_isolated_slots;
           Alcotest.test_case "lease check blocks writes" `Quick
             test_lease_check_blocks_writes;
+          Alcotest.test_case "torn tail replays prefix" `Quick
+            test_torn_tail_replays_prefix;
+          Alcotest.test_case "garbage sector with valid crc" `Quick
+            test_garbage_sector_with_valid_crc;
+          Alcotest.test_case "flush failure releases group commit" `Quick
+            test_flush_failure_releases_group_commit;
           QCheck_alcotest.to_alcotest prop_scan_returns_complete_prefix_records;
         ] );
     ]
