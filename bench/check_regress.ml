@@ -56,10 +56,16 @@ let parse_row line =
 let parse_file path =
   let ic = open_in path in
   let rows = ref [] in
+  (* Only rows inside the "workloads" section are performance data;
+     later sections ("net", ...) hold counter-only observability
+     fields that must not enter the comparison. *)
+  let in_workloads = ref false in
   (try
      while true do
        let line = input_line ic in
-       if contains line "throughput_mb_per_s" then
+       if contains line "\"workloads\"" then in_workloads := true
+       else if !in_workloads && String.trim line = "}," then in_workloads := false
+       else if !in_workloads && contains line "throughput_mb_per_s" then
          match parse_row line with
          | Some row -> rows := row :: !rows
          | None -> ()

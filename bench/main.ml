@@ -468,9 +468,35 @@ let print_petal_delta name (prev : Petal.Client.stats) (s : Petal.Client.stats) 
     (s.read_rpcs - prev.read_rpcs)
     (s.read_coalesced - prev.read_coalesced)
 
+(* Per-workload network counters: what a workload cost in RPC
+   attempts, timeouts and retransmissions, and how often lease
+   renewal brushed the §6 hazard. Also collected into the json's
+   "net" section (counter-only — check_regress reads only the
+   "workloads" section). *)
+let net_rows : (string * (int * int * int * int * int * int * int)) list ref =
+  ref []
+
+let print_net_delta name (p_rpc : Cluster.Rpc.stats) (p_cl : Locksvc.Clerk.stats)
+    (rpc : Cluster.Rpc.stats) (cl : Locksvc.Clerk.stats) =
+  let row =
+    ( rpc.calls - p_rpc.calls,
+      rpc.attempts - p_rpc.attempts,
+      rpc.timeouts - p_rpc.timeouts,
+      rpc.retries - p_rpc.retries,
+      rpc.dups_suppressed - p_rpc.dups_suppressed,
+      cl.renew_rounds - p_cl.renew_rounds,
+      cl.renew_misses - p_cl.renew_misses )
+  in
+  let calls, attempts, timeouts, retries, dups, rounds, misses = row in
+  net_rows := !net_rows @ [ (name, row) ];
+  Printf.printf
+    "  net  [%-22s] calls %6d  attempts %6d  timeouts %4d  retries %4d  \
+     dups %4d  renew %d rounds / %d missed\n"
+    name calls attempts timeouts retries dups rounds misses
+
 let json_bench () =
   print_endline hrule;
-  print_endline "BENCH_2.json: throughput + latency percentiles per workload";
+  print_endline "BENCH_4.json: throughput + latency percentiles per workload";
   let results : (string * float * int * float * float) list ref = ref [] in
   let record name ~bytes ~elapsed lats =
     let thr =
@@ -491,6 +517,7 @@ let json_bench () =
       let inum = v.V.create ~dir:v.V.root "jbig" in
       let lats = ref [] in
       let p0 = Frangipani.Fs.petal_stats fs in
+      let n0 = Frangipani.Fs.net_stats fs and l0 = Frangipani.Fs.lease_stats fs in
       let t0 = Sim.now () in
       for i = 0 to units - 1 do
         let s = Sim.now () in
@@ -501,9 +528,12 @@ let json_bench () =
       record "largefile_write_16mb" ~bytes:(units * unit_b)
         ~elapsed:(Sim.now () - t0) !lats;
       print_petal_delta "largefile_write_16mb" p0 (Frangipani.Fs.petal_stats fs);
+      print_net_delta "largefile_write_16mb" n0 l0 (Frangipani.Fs.net_stats fs)
+        (Frangipani.Fs.lease_stats fs);
       v.V.drop_caches ();
       let lats = ref [] in
       let p0 = Frangipani.Fs.petal_stats fs in
+      let n0 = Frangipani.Fs.net_stats fs and l0 = Frangipani.Fs.lease_stats fs in
       let t0 = Sim.now () in
       for i = 0 to units - 1 do
         let s = Sim.now () in
@@ -512,7 +542,9 @@ let json_bench () =
       done;
       record "largefile_read_16mb" ~bytes:(units * unit_b)
         ~elapsed:(Sim.now () - t0) !lats;
-      print_petal_delta "largefile_read_16mb" p0 (Frangipani.Fs.petal_stats fs));
+      print_petal_delta "largefile_read_16mb" p0 (Frangipani.Fs.petal_stats fs);
+      print_net_delta "largefile_read_16mb" n0 l0 (Frangipani.Fs.net_stats fs)
+        (Frangipani.Fs.lease_stats fs));
   (* 30 parallel uncached 8 KB reads (paper §9.2 aside). *)
   Sim.run (fun () ->
       let t = T.build ~petal_servers:7 ~ndisks:9 ~disk_capacity:(128 * mb) () in
@@ -528,6 +560,7 @@ let json_bench () =
       v.V.drop_caches ();
       let lats = ref [] in
       let p0 = Frangipani.Fs.petal_stats fs in
+      let n0 = Frangipani.Fs.net_stats fs and l0 = Frangipani.Fs.lease_stats fs in
       let t0 = Sim.now () in
       let pending = ref (List.length files) in
       let all = Sim.Ivar.create () in
@@ -542,7 +575,9 @@ let json_bench () =
         files;
       Sim.Ivar.read all;
       record "small_reads_30x8kb" ~bytes:(30 * 8192) ~elapsed:(Sim.now () - t0) !lats;
-      print_petal_delta "small_reads_30x8kb" p0 (Frangipani.Fs.petal_stats fs));
+      print_petal_delta "small_reads_30x8kb" p0 (Frangipani.Fs.petal_stats fs);
+      print_net_delta "small_reads_30x8kb" n0 l0 (Frangipani.Fs.net_stats fs)
+        (Frangipani.Fs.lease_stats fs));
   (* Raw Petal write latency: one chunk vs a 3-chunk scatter. The
      acceptance check for the async client is the ratio of these two —
      a multi-chunk write should cost ~1 round-trip, not N. *)
@@ -569,8 +604,8 @@ let json_bench () =
   petal_write "petal_write_64kb_1chunk" ~reps:20 ~len:Petal.Protocol.chunk_bytes;
   petal_write "petal_write_192kb_3chunks" ~reps:20 ~len:(3 * Petal.Protocol.chunk_bytes);
   let rows = List.rev !results in
-  let oc = open_out "BENCH_2.json" in
-  Printf.fprintf oc "{\n  \"pr\": 2,\n  \"workloads\": {\n";
+  let oc = open_out "BENCH_4.json" in
+  Printf.fprintf oc "{\n  \"pr\": 4,\n  \"workloads\": {\n";
   List.iteri
     (fun i (name, thr, ops, p50, p99) ->
       Printf.fprintf oc
@@ -579,6 +614,18 @@ let json_bench () =
         name thr ops p50 p99
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  (* Counter-only observability section: check_regress compares only
+     the "workloads" rows above. *)
+  Printf.fprintf oc "  },\n  \"net\": {\n";
+  List.iteri
+    (fun i (name, (calls, attempts, timeouts, retries, dups, rounds, misses)) ->
+      Printf.fprintf oc
+        "    %S: { \"rpc_calls\": %d, \"rpc_attempts\": %d, \"rpc_timeouts\": \
+         %d, \"rpc_retries\": %d, \"dups_suppressed\": %d, \"renew_rounds\": \
+         %d, \"renew_misses\": %d }%s\n"
+        name calls attempts timeouts retries dups rounds misses
+        (if i = List.length !net_rows - 1 then "" else ","))
+    !net_rows;
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
   List.iter
@@ -586,7 +633,7 @@ let json_bench () =
       Printf.printf "%-28s %8.1f MB/s %5d ops  p50 %8.3f ms  p99 %8.3f ms\n" name
         thr ops p50 p99)
     rows;
-  print_endline "wrote BENCH_2.json"
+  print_endline "wrote BENCH_4.json"
 
 (* --- Bechamel microbenchmarks ------------------------------------------------------ *)
 

@@ -20,9 +20,20 @@ and t = {
   mutable ports : port list;
   mutable next_addr : addr;
   mutable reachable : addr -> addr -> bool;
+  mutable fault_cut : addr -> addr -> bool;
+  mutable netem : (addr -> addr -> int -> fate) option;
 }
 
-let create () = { ports = []; next_addr = 0; reachable = (fun _ _ -> true) }
+and fate = Deliver | Lose | Delay of Sim.time
+
+let create () =
+  {
+    ports = [];
+    next_addr = 0;
+    reachable = (fun _ _ -> true);
+    fault_cut = (fun _ _ -> false);
+    netem = None;
+  }
 
 let attach t ?(bandwidth_bits_per_sec = 155e6) ?(latency = Sim.us 120)
     ?(cpu_ns_per_byte = 2) ?(cpu_ns_per_msg = 30_000) phost =
@@ -52,6 +63,11 @@ let tx_link p = p.tx
 let rx_link p = p.rx
 let set_reachable t f = t.reachable <- f
 let clear_partition t = t.reachable <- (fun _ _ -> true)
+let set_fault_cut t f = t.fault_cut <- f
+let clear_fault_cut t = t.fault_cut <- (fun _ _ -> false)
+let set_netem t f = t.netem <- Some f
+let clear_netem t = t.netem <- None
+let addrs t = List.rev_map (fun p -> p.paddr) t.ports
 
 let find_port t a = List.find_opt (fun p -> p.paddr = a) t.ports
 
@@ -69,7 +85,29 @@ let send p ~dst ~size m =
   Sim.spawn (fun () ->
       Sim.Resource.use p.tx (transfer_time p size);
       Sim.sleep p.latency;
-      if Host.is_alive p.phost && t.reachable src dst then
+      (* Network-emulation hook (Netfault): consulted once per
+         message, after the base propagation latency, so loss and
+         added delay are sampled in a deterministic order. *)
+      let lost =
+        match t.netem with
+        | None -> false
+        | Some em -> (
+          match em src dst size with
+          | Deliver -> false
+          | Lose -> true
+          | Delay d ->
+            Sim.sleep d;
+            false)
+      in
+      (* Partition semantics: both predicates are evaluated at the
+         delivery instant, so a cut installed while a message is in
+         flight retroactively drops it (see net.mli). *)
+      if
+        (not lost)
+        && Host.is_alive p.phost
+        && t.reachable src dst
+        && not (t.fault_cut src dst)
+      then
         match find_port t dst with
         | Some q when Host.is_alive q.phost ->
           (* Receive side: the message occupies the receiver's link,

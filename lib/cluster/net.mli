@@ -8,6 +8,16 @@
     Delivery is dropped silently if either end is crashed or the pair
     is partitioned; reliability is the business of upper layers.
 
+    {b Partition semantics for in-flight messages.} Reachability (and
+    the {!set_fault_cut} predicate layered on it by
+    [Cluster.Netfault]) is evaluated at the {e delivery} instant, not
+    at send time: a cut installed while a message is crossing the
+    switch retroactively drops it, and a cut healed before delivery
+    lets a message sent during the partition through. This is the
+    realistic choice — a physical link that dies mid-flight loses the
+    frames already on the wire — and it is the documented, tested
+    behaviour ([test_cluster], "partition installed mid-flight").
+
     Payloads are an extensible variant: each protocol adds its own
     constructors. *)
 
@@ -57,6 +67,39 @@ val rx_link : port -> Simkit.Sim.Resource.t
 
 val set_reachable : t -> (addr -> addr -> bool) -> unit
 (** Install a reachability predicate (network partitions). The
-    default is full connectivity. *)
+    default is full connectivity. Evaluated at the delivery instant
+    (see the module comment). *)
 
 val clear_partition : t -> unit
+
+val addrs : t -> addr list
+(** Addresses of every attached port, in attachment order. *)
+
+(** {2 Fault-injection hooks}
+
+    Two composable hooks used by [Cluster.Netfault]; both default to
+    "no fault" and are independent of {!set_reachable}, so tests that
+    install their own reachability predicate keep working under a
+    nemesis layer. *)
+
+val set_fault_cut : t -> (addr -> addr -> bool) -> unit
+(** [set_fault_cut t cut]: a message from [src] to [dst] is dropped
+    when [cut src dst] is true {e at the delivery instant}. The
+    predicate is directional, so one-way (asymmetric) link faults are
+    expressible. ANDed with {!set_reachable} (a message must be
+    reachable and not cut). *)
+
+val clear_fault_cut : t -> unit
+
+type fate = Deliver | Lose | Delay of Simkit.Sim.time
+(** What the network-emulation hook decides for one message. *)
+
+val set_netem : t -> (addr -> addr -> int -> fate) -> unit
+(** [set_netem t em]: [em src dst size] is consulted exactly once per
+    message, after the base propagation latency and before the
+    partition check, so a seeded nemesis samples loss/delay in a
+    deterministic order. [Lose] drops the message; [Delay d] adds [d]
+    to its in-flight time (cuts installed during the extra delay
+    still apply). *)
+
+val clear_netem : t -> unit

@@ -5,18 +5,42 @@ type error = [ `Timeout ]
 let pp_error fmt `Timeout = Format.pp_print_string fmt "timeout"
 
 type Net.payload +=
-  | Req of { id : int; body : Net.payload }
+  | Req of { id : int; dedup : bool; body : Net.payload }
   | Reply of { id : int; body : Net.payload }
   | Oneway of Net.payload
 
 type handler = src:Net.addr -> Net.payload -> (Net.payload * int) option
 
+type stats = {
+  calls : int;
+  attempts : int;
+  timeouts : int;
+  retries : int;
+  dups_suppressed : int;
+}
+
+(* Server-side duplicate-suppression cache for [dedup] requests
+   (those issued by [call_retry], which reuses one request id across
+   attempts). [In_progress] while the first copy's handler runs;
+   [Done] keeps the reply so a retransmitted request is answered
+   without re-executing a non-idempotent handler. *)
+type cached = In_progress | Done of (Net.payload * int)
+
+let dedup_cap = 1024
+
 type t = {
   port : Net.port;
   mutable handlers : handler list;
   mutable oneway_subs : (src:Net.addr -> Net.payload -> unit) list;
-  pending : (int, (Net.payload, error) result Sim.Ivar.t) Hashtbl.t;
+  pending : (int, (Net.payload, error) result Sim.Ivar.t * Sim.Timer.t) Hashtbl.t;
+  replies : (Net.addr * int, cached) Hashtbl.t;
+  reply_order : (Net.addr * int) Queue.t;
   mutable next_id : int;
+  mutable s_calls : int;
+  mutable s_attempts : int;
+  mutable s_timeouts : int;
+  mutable s_retries : int;
+  mutable s_dups : int;
 }
 
 let port t = t.port
@@ -25,18 +49,65 @@ let host t = Net.host t.port
 let add_handler t h = t.handlers <- t.handlers @ [ h ]
 let on_oneway t f = t.oneway_subs <- t.oneway_subs @ [ f ]
 
-let handle_request t ~src id body =
+let stats t =
+  {
+    calls = t.s_calls;
+    attempts = t.s_attempts;
+    timeouts = t.s_timeouts;
+    retries = t.s_retries;
+    dups_suppressed = t.s_dups;
+  }
+
+let run_handlers t ~src body =
   let rec try_handlers = function
     | [] ->
       Logs.warn (fun m ->
-          m "%s: unhandled rpc request from %d" (Host.name (host t)) src)
+          m "%s: unhandled rpc request from %d" (Host.name (host t)) src);
+      None
     | h :: rest -> (
       match h ~src body with
-      | Some (reply, size) -> Net.send t.port ~dst:src ~size (Reply { id; body = reply })
+      | Some (reply, size) -> Some (reply, size)
       | None -> try_handlers rest)
   in
-  try try_handlers t.handlers
-  with Host.Crashed _ -> () (* host died mid-request: no reply, caller times out *)
+  try_handlers t.handlers
+
+let send_reply t ~dst id (reply, size) =
+  try Net.send t.port ~dst ~size (Reply { id; body = reply })
+  with Host.Crashed _ -> ()
+
+let handle_request t ~src id ~dedup body =
+  if not dedup then (
+    try
+      match run_handlers t ~src body with
+      | Some r -> send_reply t ~dst:src id r
+      | None -> ()
+    with Host.Crashed _ -> () (* host died mid-request: no reply, caller times out *))
+  else
+    let key = (src, id) in
+    match Hashtbl.find_opt t.replies key with
+    | Some (Done r) ->
+      (* Retransmission of a request we already executed: answer from
+         the cache, do not run the handler again. *)
+      t.s_dups <- t.s_dups + 1;
+      send_reply t ~dst:src id r
+    | Some In_progress ->
+      (* First copy's handler is still running; it will reply. *)
+      t.s_dups <- t.s_dups + 1
+    | None -> (
+      Hashtbl.replace t.replies key In_progress;
+      Queue.push key t.reply_order;
+      if Queue.length t.reply_order > dedup_cap then
+        Hashtbl.remove t.replies (Queue.pop t.reply_order);
+      match run_handlers t ~src body with
+      | Some r ->
+        Hashtbl.replace t.replies key (Done r);
+        send_reply t ~dst:src id r
+      | None -> Hashtbl.remove t.replies key
+      | exception Host.Crashed _ ->
+        (* The handler's side effects died with the host's volatile
+           state; let a retry re-execute, as against a restarted
+           server. *)
+        Hashtbl.remove t.replies key)
 
 let dispatcher t () =
   let h = host t in
@@ -47,11 +118,13 @@ let dispatcher t () =
        losing its socket buffers. *)
     if Host.is_alive h then
       (match m with
-      | Req { id; body } -> Sim.spawn (fun () -> handle_request t ~src id body)
+      | Req { id; dedup; body } ->
+        Sim.spawn (fun () -> handle_request t ~src id ~dedup body)
       | Reply { id; body } -> (
         match Hashtbl.find_opt t.pending id with
-        | Some iv ->
+        | Some (iv, timer) ->
           Hashtbl.remove t.pending id;
+          Sim.Timer.cancel timer;
           if not (Sim.Ivar.is_filled iv) then Sim.Ivar.fill iv (Ok body)
         | None -> () (* reply after timeout: drop *))
       | Oneway body ->
@@ -68,27 +141,81 @@ let dispatcher t () =
 
 let create port =
   let t =
-    { port; handlers = []; oneway_subs = []; pending = Hashtbl.create 64; next_id = 0 }
+    {
+      port;
+      handlers = [];
+      oneway_subs = [];
+      pending = Hashtbl.create 64;
+      replies = Hashtbl.create 64;
+      reply_order = Queue.create ();
+      next_id = 0;
+      s_calls = 0;
+      s_attempts = 0;
+      s_timeouts = 0;
+      s_retries = 0;
+      s_dups = 0;
+    }
   in
+  (* The dedup cache is volatile server state: a crash loses it, so a
+     retry against the restarted incarnation re-executes — exactly
+     what a real server that lost its memory would do. *)
+  Host.on_crash (Net.host port) (fun () ->
+      Hashtbl.reset t.replies;
+      Queue.clear t.reply_order);
   Sim.spawn ~name:(Host.name (Net.host port) ^ ".rpc") (dispatcher t);
   t
 
+(* One network attempt: arm a timeout timer (cancelled by the
+   dispatcher when the reply arrives — no dead timers accumulate over
+   long sweeps) and transmit. *)
+let attempt t ~dst ~timeout ~dedup ~size ~id body =
+  let iv = Sim.Ivar.create () in
+  let timer =
+    Sim.Timer.after timeout (fun () ->
+        if not (Sim.Ivar.is_filled iv) then begin
+          Hashtbl.remove t.pending id;
+          t.s_timeouts <- t.s_timeouts + 1;
+          Sim.Ivar.fill iv (Error `Timeout)
+        end)
+  in
+  Hashtbl.replace t.pending id (iv, timer);
+  t.s_attempts <- t.s_attempts + 1;
+  Net.send t.port ~dst ~size (Req { id; dedup; body });
+  iv
+
 let call_async t ~dst ?(timeout = Sim.sec 1.0) ~size body =
   Host.check (host t);
+  t.s_calls <- t.s_calls + 1;
   t.next_id <- t.next_id + 1;
-  let id = t.next_id in
-  let iv = Sim.Ivar.create () in
-  Hashtbl.replace t.pending id iv;
-  ignore
-    (Sim.Timer.after timeout (fun () ->
-         if not (Sim.Ivar.is_filled iv) then begin
-           Hashtbl.remove t.pending id;
-           Sim.Ivar.fill iv (Error `Timeout)
-         end));
-  Net.send t.port ~dst ~size (Req { id; body });
-  iv
+  attempt t ~dst ~timeout ~dedup:false ~size ~id:t.next_id body
 
 let call t ~dst ?timeout ~size body =
   Sim.Ivar.read (call_async t ~dst ?timeout ~size body)
+
+let max_backoff = Sim.sec 5.0
+
+let call_retry t ~dst ?(timeout = Sim.sec 1.0) ?(attempts = 4)
+    ?(backoff = Sim.ms 100) ~size body =
+  Host.check (host t);
+  t.s_calls <- t.s_calls + 1;
+  t.next_id <- t.next_id + 1;
+  (* One id for all attempts: a late reply to an earlier copy
+     completes the current attempt, and the server can suppress
+     duplicate executions keyed on (src, id). *)
+  let id = t.next_id in
+  let rec go n delay =
+    if n > 1 then t.s_retries <- t.s_retries + 1;
+    match Sim.Ivar.read (attempt t ~dst ~timeout ~dedup:true ~size ~id body) with
+    | Ok r -> Ok r
+    | Error `Timeout when n < attempts ->
+      (* Exponential backoff with jitter from the engine's
+         deterministic RNG. *)
+      let j = if delay > 1 then Sim.random_int (delay / 2) else 0 in
+      Sim.sleep (delay + j);
+      Host.check (host t);
+      go (n + 1) (min (2 * delay) max_backoff)
+    | Error `Timeout -> Error `Timeout
+  in
+  go 1 backoff
 
 let oneway t ~dst ~size body = Net.send t.port ~dst ~size (Oneway body)

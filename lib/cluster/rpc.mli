@@ -55,5 +55,38 @@ val call :
   (Net.payload, error) result
 (** [call_async] followed by a blocking read of the reply. *)
 
+val call_retry :
+  t ->
+  dst:Net.addr ->
+  ?timeout:Simkit.Sim.time ->
+  ?attempts:int ->
+  ?backoff:Simkit.Sim.time ->
+  size:int ->
+  Net.payload ->
+  (Net.payload, error) result
+(** Blocking call with retransmission: up to [attempts] (default 4)
+    copies, [timeout] (default 1 s) per copy, exponential backoff
+    starting at [backoff] (default 100 ms, doubling, capped at 5 s)
+    with deterministic jitter between copies. All copies carry the
+    {e same} request id and a [dedup] flag, so the receiving endpoint
+    executes the handler at most once per id and answers
+    retransmissions from a bounded reply cache — safe for
+    non-idempotent operations. A server crash clears that cache
+    (volatile state), in which case a retry re-executes against the
+    restarted incarnation, exactly as against a real rebooted server.
+    Returns [`Timeout] only after every attempt has timed out. *)
+
+type stats = {
+  calls : int;  (** [call]/[call_async]/[call_retry] invocations *)
+  attempts : int;  (** request transmissions, retries included *)
+  timeouts : int;  (** attempts that timed out *)
+  retries : int;  (** retransmissions by [call_retry] *)
+  dups_suppressed : int;  (** server-side duplicate requests absorbed *)
+}
+
+val stats : t -> stats
+(** Cumulative counters for this endpoint (both its client and server
+    roles). *)
+
 val oneway : t -> dst:Net.addr -> size:int -> Net.payload -> unit
 (** Fire-and-forget datagram through this endpoint. *)

@@ -51,6 +51,11 @@ type txn = {
   mutable diffs : Wal.diff list;
   mutable touched : entry list;
   mutable post : (unit -> unit) list; (* run after commit (lock releases) *)
+  mutable undo : (entry * bytes) list;
+      (* pre-images (newest first): an aborted transaction must take
+         its bytes back out of the cache, or the orphaned mutation is
+         later flushed under an older — already durable — record and
+         reaches Petal without ever being logged *)
 }
 
 let create ~vd ~wal ~lease_ok =
@@ -100,21 +105,37 @@ let rec entry t ~lock ~addr ~len =
 let read t ~lock ~addr ~len = (entry t ~lock ~addr ~len).data
 
 let with_txn t f =
-  let txn = { diffs = []; touched = []; post = [] } in
+  let txn = { diffs = []; touched = []; post = []; undo = [] } in
   let finish () = List.iter (fun g -> g ()) (List.rev txn.post) in
   let unpin () = List.iter (fun e -> e.pins <- e.pins - 1) txn.touched in
   let r =
     try f txn
     with e ->
+      (* Abort: restore pre-images newest-first, so with repeated
+         updates to one sector the oldest (pre-transaction) image
+         wins. The diffs are dropped unlogged, so the cache must not
+         keep the bytes either. *)
+      List.iter (fun (en, img) -> Bytes.blit img 0 en.data 0 (Bytes.length img))
+        txn.undo;
       unpin ();
       finish ();
       raise e
   in
   (match txn.diffs with
   | [] -> ()
-  | diffs ->
-    let rid = Wal.append t.wal (List.rev diffs) in
-    List.iter (fun e -> e.rid <- max e.rid rid) txn.touched);
+  | diffs -> (
+    match Wal.append t.wal (List.rev diffs) with
+    | rid -> List.iter (fun e -> e.rid <- max e.rid rid) txn.touched
+    | exception ex ->
+      (* A synchronous flush failed (Petal unreachable): the record
+         was still enqueued under the WAL's newest rid and will be
+         retried, so stamp the touched entries conservatively — and
+         run the pin releases and commit hooks (lock releases!)
+         before re-raising, or the locks leak forever. *)
+      List.iter (fun e -> e.rid <- max e.rid (Wal.last_rid t.wal)) txn.touched;
+      unpin ();
+      finish ();
+      raise ex));
   unpin ();
   finish ();
   r
@@ -124,6 +145,7 @@ let on_commit txn g = txn.post <- g :: txn.post
 let update t txn ~lock ~addr ~off ~bytes:data =
   assert (addr mod Layout.sector = 0 && off + Bytes.length data <= Layout.sector);
   let e = entry t ~lock ~addr ~len:Layout.sector in
+  txn.undo <- (e, Bytes.copy e.data) :: txn.undo;
   let version = Codec.get_int e.data 0 + 1 in
   Codec.put_int e.data 0 version;
   Bytes.blit data 0 e.data off (Bytes.length data);

@@ -35,6 +35,7 @@ let default_config =
 type t = {
   host : Cluster.Host.t;
   config : config;
+  rpc : Cluster.Rpc.t;  (** the machine's RPC endpoint, for counters *)
   vd : Petal.Client.vdisk;
   clerk : Locksvc.Clerk.t;
   cache : Cache.t;

@@ -25,6 +25,8 @@ let host (ctx : t) = ctx.Ctx.host
 let log_slot (ctx : t) = ctx.Ctx.slot
 let cache_stats (ctx : t) = Cache.stats ctx.Ctx.cache
 let petal_stats (ctx : t) = Petal.Client.op_stats ctx.Ctx.vd
+let net_stats (ctx : t) = Cluster.Rpc.stats ctx.Ctx.rpc
+let lease_stats (ctx : t) = Clerk.stats ctx.Ctx.clerk
 let is_poisoned (ctx : t) = ctx.Ctx.poisoned
 
 type recovery_stats = {
@@ -533,6 +535,7 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
     {
       Ctx.host;
       config;
+      rpc;
       vd;
       clerk;
       cache;

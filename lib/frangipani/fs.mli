@@ -111,6 +111,14 @@ val petal_stats : t -> Petal.Client.stats
     sequential read costs O(chunks) RPCs, and the bench report
     round trips saved. *)
 
+val net_stats : t -> Cluster.Rpc.stats
+(** The machine's RPC endpoint counters (attempts, timeouts, retries,
+    duplicate suppressions) — the bench prints the per-workload
+    delta. *)
+
+val lease_stats : t -> Locksvc.Clerk.stats
+(** Lease-renewal counters from this mount's lock clerk. *)
+
 val is_poisoned : t -> bool
 
 type recovery_stats = {

@@ -31,7 +31,13 @@ type t = {
   mutable valid_until : Sim.time;
   mutable closed : bool;
   recoveries : (int, unit) Hashtbl.t;
+  mutable s_renew_rounds : int;
+  mutable s_renew_misses : int;
 }
+
+type stats = { renew_rounds : int; renew_misses : int }
+
+let stats t = { renew_rounds = t.s_renew_rounds; renew_misses = t.s_renew_misses }
 
 let lease t = t.clease
 let table t = t.ctable
@@ -270,12 +276,17 @@ let on_do_recovery_msg t ~dead_lease =
         match t.on_do_recovery ~dead_lease with
         | () ->
           (* Only a completed replay is announced; the lock server
-             then frees the dead server's locks and stops nagging. *)
-          List.iter
-            (fun dst ->
-              Rpc.oneway t.rpc ~dst ~size:msg
-                (L_recovered { table = t.ctable; dead_lease }))
-            t.servers;
+             then frees the dead server's locks and stops nagging.
+             The callback may have crashed this very host and still
+             returned (a test rigging `crash` as the callback), so
+             the announce itself must tolerate a dead sender. *)
+          (try
+             List.iter
+               (fun dst ->
+                 Rpc.oneway t.rpc ~dst ~size:msg
+                   (L_recovered { table = t.ctable; dead_lease }))
+               t.servers
+           with Host.Crashed _ -> ());
           Hashtbl.remove t.recoveries dead_lease
         | exception Host.Crashed _ -> ()
         | exception _ ->
@@ -306,7 +317,10 @@ let expire t =
 
 (* Every lock server tracks renewals independently, so the lease must
    be refreshed with all of them (in parallel — a crashed server's
-   timeout must not delay the others past their expiry check). *)
+   timeout must not delay the others past their expiry check). Each
+   server gets a short retransmitting call, so one dropped datagram
+   on a lossy link does not cost a whole renewal round. Returns
+   whether any server acknowledged. *)
 let renew_once t =
   let sent_at = Sim.now () in
   let ok = ref false and pending = ref (List.length t.servers) in
@@ -315,7 +329,8 @@ let renew_once t =
     (fun dst ->
       Sim.spawn (fun () ->
           (match
-             Rpc.call t.rpc ~dst ~timeout:(Sim.ms 500) ~size:16
+             Rpc.call_retry t.rpc ~dst ~timeout:(Sim.ms 400) ~attempts:2
+               ~backoff:(Sim.ms 50) ~size:16
                (L_renew { lease = t.clease })
            with
           | Ok L_renewed -> ok := true
@@ -326,7 +341,8 @@ let renew_once t =
           if !pending = 0 then Sim.Ivar.fill all ()))
     t.servers;
   Sim.Ivar.read all;
-  if !ok then t.valid_until <- sent_at + lease_period
+  if !ok then t.valid_until <- sent_at + lease_period;
+  !ok
 
 let sync_once t =
   match t.servers with
@@ -338,7 +354,7 @@ let sync_once t =
     | Ok _ | Error `Timeout -> ())
 
 let housekeeping t () =
-  let last_renew = ref 0 and last_sync = ref 0 in
+  let next_renew = ref 0 and renew_backoff = ref 0 and last_sync = ref 0 in
   (* The host can crash at any instant — including while this demon
      is between its liveness check and an RPC; the raise just ends
      the demon. *)
@@ -346,9 +362,24 @@ let housekeeping t () =
     Sim.sleep (Sim.sec 1.0);
     if (not t.closed) && Host.is_alive t.host then begin
       if not t.expired then begin
-        if Sim.now () - !last_renew >= renew_interval then begin
-          last_renew := Sim.now ();
-          renew_once t
+        (* Renew every [renew_interval] — but a missed round (no
+           server answered) is retried early, on a 1→8 s exponential
+           backoff, instead of idling out the full interval while the
+           lease runs down (§6: the clerk must fight for its lease
+           before taking the expiry path). *)
+        if Sim.now () >= !next_renew then begin
+          t.s_renew_rounds <- t.s_renew_rounds + 1;
+          if renew_once t then begin
+            renew_backoff := 0;
+            next_renew := Sim.now () + renew_interval
+          end
+          else begin
+            t.s_renew_misses <- t.s_renew_misses + 1;
+            renew_backoff :=
+              (if !renew_backoff = 0 then Sim.sec 1.0
+               else min (2 * !renew_backoff) (Sim.sec 8.0));
+            next_renew := Sim.now () + !renew_backoff
+          end
         end;
         if (not t.expired) && Sim.now () > t.valid_until then expire t;
         if Sim.now () - !last_sync >= Sim.sec 2.0 then begin
@@ -430,6 +461,8 @@ let create ~rpc ~servers ~table:ctable () =
       valid_until = Sim.now () + lease_period;
       closed = false;
       recoveries = Hashtbl.create 4;
+      s_renew_rounds = 0;
+      s_renew_misses = 0;
     }
   in
   Rpc.on_oneway rpc (fun ~src:_ body ->

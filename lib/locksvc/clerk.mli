@@ -64,6 +64,17 @@ val check_lease_margin : t -> bool
 
 val is_expired : t -> bool
 
+type stats = {
+  renew_rounds : int;  (** renewal rounds attempted (incl. backoff retries) *)
+  renew_misses : int;  (** rounds in which no lock server answered *)
+}
+
+val stats : t -> stats
+(** Lease-renewal counters: a missed round triggers an early retry on
+    a 1→8 s exponential backoff rather than waiting out the full
+    renew interval, so [renew_misses] counts brushes with the §6
+    expiry path. *)
+
 val close : t -> unit
 (** Release all cached locks and close the table (clean shutdown).
     The caller must have flushed dirty data first. *)

@@ -219,10 +219,26 @@ let apply t slot cmd =
     if not (List.mem addr t.servers) then begin
       let old = t.servers in
       t.servers <- t.servers @ [ addr ];
+      (* If WE are the one rejoining, our soft lease clocks are stale:
+         we were deaf to renewals and gossip while out. Restart every
+         clock rather than let an old opinion kill a live lease — a
+         genuinely dead one simply re-expires a lease period later. *)
+      if addr = my_addr t then
+        Hashtbl.iter
+          (fun _ lr ->
+            lr.last_renew <- Sim.now ();
+            lr.dead <- false)
+          t.leases;
       recompute_ownership t old
     end
   | Remove_server { addr } ->
-    if List.mem addr t.servers then begin
+    (* Never empty the membership: a partition leaves BOTH sides with
+       queued removal proposals, and after heal the stale ones commit
+       too. With one server left there is nobody to heartbeat, so the
+       rejoin path could never recover from zero. The floor is a
+       deterministic function of replicated state, so every replica
+       refuses the same command. *)
+    if List.mem addr t.servers && List.length t.servers > 1 then begin
       let old = t.servers in
       t.servers <- List.filter (fun a -> a <> addr) t.servers;
       recompute_ownership t old
@@ -253,7 +269,10 @@ let initiate_recovery t lease =
 let expiry_daemon t () =
   let rec loop () =
     Sim.sleep (Sim.sec 5.0);
-    if Host.is_alive t.host then begin
+    (* Only a current member may pass judgement: a server voted out
+       during a partition stops hearing renewals and gossip, so its
+       clocks say nothing about the clerk's health. *)
+    if Host.is_alive t.host && List.mem (my_addr t) t.servers then begin
       Hashtbl.iter
         (fun lease lr ->
           if (not lr.dead) && Sim.now () - lr.last_renew > lease_period then begin
@@ -380,6 +399,14 @@ let rpc_handler t ~src body =
     match Hashtbl.find_opt t.leases lease with
     | Some lr when not lr.dead ->
       lr.last_renew <- Sim.now ();
+      (* Tell the peer servers: each keeps its own lease clock, and a
+         peer the clerk cannot reach right now must not expire a
+         lease the service as a whole is still renewing. *)
+      List.iter
+        (fun a ->
+          if a <> my_addr t then
+            Rpc.oneway t.rpc ~dst:a ~size:16 (S_renew_note { lease }))
+        t.servers;
       Some (L_renewed, 16)
     | Some _ | None -> Some (L_err "unknown lease", msg))
   | L_sync -> Some (L_synced { servers = t.servers; ngroups = t.ngroups }, msg)
@@ -392,7 +419,18 @@ let oneway_handler t ~src body =
   | L_release { table; lease; lock; to_mode } ->
     handle_release t ~table ~lease ~lock ~to_mode
   | L_recovered { table; dead_lease } -> handle_recovered t ~table ~dead_lease
-  | S_heartbeat -> Hashtbl.replace t.hb src (Sim.now ())
+  | S_heartbeat ->
+    Hashtbl.replace t.hb src (Sim.now ());
+    (* A peer we removed during a partition is audibly alive again:
+       bring it back. (Without this, stale removals — including the
+       minority side's own queued proposals committing after heal —
+       would only ever shrink the membership.) *)
+    if not (List.mem src t.servers) then
+      Sim.spawn (fun () -> try propose_add_server t src with Host.Crashed _ -> ())
+  | S_renew_note { lease } -> (
+    match Hashtbl.find_opt t.leases lease with
+    | Some lr when not lr.dead -> lr.last_renew <- Sim.now ()
+    | Some _ | None -> ())
   | _ -> ()
 
 (* Re-sent revokes and deferred grants need a periodic nudge in case

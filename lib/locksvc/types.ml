@@ -62,6 +62,12 @@ type Net.payload +=
   | L_get_state of { table : string; group : int }
   | L_state of { held : (string * int * mode) list }
   | S_heartbeat
+  | S_renew_note of { lease : int }
+      (** server -> server: a renewal landed here; refresh your copy
+          of the lease clock. One lock server partitioned from a
+          clerk must not declare the lease dead while the clerk is
+          still renewing through its peers — the lock service is one
+          logical service (§6), however many machines implement it. *)
   | L_err of string
 
 let msg = 64 (* nominal size of the small lock-protocol messages *)

@@ -18,6 +18,15 @@ type t = {
   mutable read_piece_count : int; (* chunk pieces before coalescing *)
   mutable read_rpc_count : int; (* read RPCs actually issued *)
   mutable read_coalesce_count : int; (* pieces merged into a neighbour *)
+  (* Servers whose last piece RPC timed out, mapped to the time of
+     their next probe: until then pieces go straight to the other
+     replica instead of re-paying the timeout, and after a successful
+     probe the primary is used again (heal detection — failover is
+     not pinned forever). *)
+  suspects : (int, Sim.time) Hashtbl.t;
+  mutable failover_count : int;
+  mutable primary_skip_count : int;
+  mutable probe_heal_count : int;
 }
 
 type vdisk = {
@@ -41,6 +50,9 @@ type stats = {
   read_pieces : int;
   read_rpcs : int;
   read_coalesced : int;
+  failovers : int;
+  primary_skips : int;
+  probe_heals : int;
 }
 
 (* The paper keeps "several megabytes" of write-behind in flight
@@ -55,7 +67,15 @@ let connect ~rpc ~servers =
     inflight = Sim.Resource.create ~capacity:max_inflight_pieces "petal.inflight";
     write_guard = (fun () -> None);
     write_ops = 0; write_ns = 0; read_ops = 0; read_ns = 0;
-    read_piece_count = 0; read_rpc_count = 0; read_coalesce_count = 0 }
+    read_piece_count = 0; read_rpc_count = 0; read_coalesce_count = 0;
+    suspects = Hashtbl.create 4;
+    failover_count = 0; primary_skip_count = 0; probe_heal_count = 0 }
+
+(* How long a timed-out server is skipped before a piece probes it
+   again. Short enough that a healed partition stops costing the
+   replica detour within seconds, long enough that a dead server
+   costs one timeout per window instead of one per piece. *)
+let probe_interval = Sim.sec 5.0
 
 let set_write_guard v f = v.c.write_guard <- f
 
@@ -68,6 +88,9 @@ let op_stats v =
     read_pieces = v.c.read_piece_count;
     read_rpcs = v.c.read_rpc_count;
     read_coalesced = v.c.read_coalesce_count;
+    failovers = v.c.failover_count;
+    primary_skips = v.c.primary_skip_count;
+    probe_heals = v.c.probe_heal_count;
   }
 
 let primary_of t ~root ~chunk = (root + chunk) mod Array.length t.servers
@@ -100,25 +123,69 @@ let gather_piece_done g =
   g.remaining <- g.remaining - 1;
   if g.remaining = 0 then gather_fill g (Ok (g.result ()))
 
-(* Submit one piece: fire the primary RPC from the submitting process
+(* A suspected server is skipped (no timeout paid) until its probe
+   window opens; the first piece after that retries it for real. *)
+let skip_primary t pi =
+  match Hashtbl.find_opt t.suspects pi with
+  | Some until -> Sim.now () < until
+  | None -> false
+
+let note_primary_timeout t pi =
+  t.failover_count <- t.failover_count + 1;
+  Hashtbl.replace t.suspects pi (Sim.now () + probe_interval)
+
+let note_primary_ok t pi =
+  if Hashtbl.mem t.suspects pi then begin
+    t.probe_heal_count <- t.probe_heal_count + 1;
+    Hashtbl.remove t.suspects pi
+  end
+
+(* Submit one piece: fire the first RPC from the submitting process
    (so submission order is preserved and backpressure is felt there),
    then hand completion to a fresh process. [on_reply] interprets the
-   server's answer, raising to fail the whole operation. *)
+   server's answer, raising to fail the whole operation. The primary
+   is skipped while suspected (a recent timeout) and re-probed once
+   its window opens, so a healed link resumes primary routing instead
+   of pinning failover. *)
 let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
   Sim.Resource.acquire t.inflight;
-  let primary =
+  let pi = primary_of t ~root ~chunk in
+  let to_secondary = nrep > 1 && skip_primary t pi in
+  if to_secondary then t.primary_skip_count <- t.primary_skip_count + 1;
+  let first =
     try
-      Rpc.call_async t.rpc ~dst:t.servers.(primary_of t ~root ~chunk)
-        ~timeout:t.timeout ~size (req_of ~solo:false)
+      if to_secondary then
+        Rpc.call_async t.rpc ~dst:t.servers.(secondary_of t ~root ~chunk)
+          ~timeout:t.timeout ~size (req_of ~solo:true)
+      else
+        Rpc.call_async t.rpc ~dst:t.servers.(pi) ~timeout:t.timeout ~size
+          (req_of ~solo:false)
     with ex ->
       Sim.Resource.release t.inflight;
       raise ex
   in
   Sim.spawn (fun () ->
       match
-        match Sim.Ivar.read primary with
-        | Ok r -> Some r
+        match Sim.Ivar.read first with
+        | Ok r ->
+          if not to_secondary then note_primary_ok t pi;
+          Some r
+        | Error `Timeout when to_secondary -> (
+          (* The replica detour failed; the suspicion may be stale
+             (the fault moved), so probe the skipped primary before
+             declaring the data unreachable. *)
+          match
+            Rpc.call t.rpc ~dst:t.servers.(pi) ~timeout:t.timeout ~size
+              (req_of ~solo:false)
+          with
+          | Ok r ->
+            note_primary_ok t pi;
+            Some r
+          | Error `Timeout ->
+            note_primary_timeout t pi;
+            None)
         | Error `Timeout ->
+          note_primary_timeout t pi;
           if nrep > 1 then
             match
               Rpc.call t.rpc ~dst:t.servers.(secondary_of t ~root ~chunk)
@@ -328,11 +395,15 @@ let decommit_async v ~off ~len =
       List.iter
         (fun (chunk, _, _) ->
           Faultpoint.hit "petal.decommit_piece";
+          let expires = v.c.write_guard () in
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:small
             ~req_of:(fun ~solo ->
-              Decommit_req { root = v.root; chunk; forward = not solo })
+              Decommit_req { root = v.root; chunk; forward = not solo; expires })
             ~on_reply:(function
               | Decommit_ok -> ()
+              | Perr "expired lease timestamp" ->
+                raise (Stale_write "expired lease timestamp")
+              | Perr e -> failwith ("petal: " ^ e)
               | _ -> failwith "petal: bad decommit reply"))
         ps
     with ex -> gather_fill g (Error ex)

@@ -99,6 +99,9 @@ type stats = {
   read_pieces : int;  (** chunk pieces across all reads, pre-coalescing *)
   read_rpcs : int;  (** read RPCs actually issued *)
   read_coalesced : int;  (** pieces merged into a neighbouring RPC *)
+  failovers : int;  (** piece RPCs that timed out on the primary *)
+  primary_skips : int;  (** pieces routed straight to the replica *)
+  probe_heals : int;  (** suspected primaries found healthy again *)
 }
 
 val op_stats : vdisk -> stats

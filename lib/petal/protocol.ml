@@ -45,7 +45,14 @@ type Net.payload +=
       expires : int option;
     }
   | Write_ok
-  | Decommit_req of { root : int; chunk : int; forward : bool }
+  | Decommit_req of {
+      root : int;
+      chunk : int;
+      forward : bool;
+      expires : int option;
+          (* same §6 stamp as writes: freeing chunks after lease
+             expiry is just as hazardous as writing them *)
+    }
   | Decommit_ok
   | Mgmt_req of mgmt_cmd
   | Mgmt_ok of int  (** The id assigned to the new (or snapshot) virtual disk. *)

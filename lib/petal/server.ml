@@ -36,18 +36,32 @@ type t = {
   free : int list ref array; (* per-disk extent free lists *)
   mutable alloc_rr : int;
   mutable allocated : int;
-  (* Chunks whose replica on [peer] is known stale (a degraded write
-     happened while it was unreachable); the resync daemon pushes
-     them when the peer comes back. *)
-  degraded : (Net.addr, (int * int, unit) Hashtbl.t) Hashtbl.t;
+  (* Byte ranges within chunks whose replica on [peer] is known stale
+     (a degraded write happened while it was unreachable); the resync
+     daemon pushes them when the peer comes back. Ranges, not whole
+     chunks: after an asymmetric fault BOTH replicas can hold writes
+     the other missed (primary took forwarded-write failures while
+     the secondary took solo writes), and a whole-chunk push in
+     either direction would overwrite the peer's newer bytes. Pushing
+     only what the peer provably missed makes resync converge to the
+     union of the surviving writes. *)
+  degraded : (Net.addr, (int * int, (int * int) list) Hashtbl.t) Hashtbl.t;
   (* §2.2's NFS-level security measure: when set, data and management
      requests are accepted only from these addresses (the trusted
      Frangipani server machines) and from Petal peers. *)
   mutable trusted : (Net.addr, unit) Hashtbl.t option;
+  (* §6 write-guard accounting: mutations refused because their
+     lease-derived stamp had passed, and — the sweep invariant —
+     writes that reached the disk with a lapsed stamp anyway (must
+     stay 0; the lease margin exists to make it so). *)
+  mutable stale_rejects : int;
+  mutable stale_applied : int;
 }
 
 let host t = t.host
 let index t = t.index
+let stale_reject_count t = t.stale_rejects
+let stale_applied_count t = t.stale_applied
 
 let set_trusted t addrs =
   match addrs with
@@ -69,8 +83,29 @@ let degraded_set t peer =
     Hashtbl.replace t.degraded peer set;
     set
 
-let mark_degraded t ~peer ~root ~chunk =
-  Hashtbl.replace (degraded_set t peer) (root, chunk) ()
+(* Insert [a, b) into a sorted disjoint interval list, coalescing
+   overlaps and adjacency. *)
+let rec interval_add (a, b) = function
+  | [] -> [ (a, b) ]
+  | (x, y) :: rest when b < x -> (a, b) :: (x, y) :: rest
+  | (x, y) :: rest when y < a -> (x, y) :: interval_add (a, b) rest
+  | (x, y) :: rest -> interval_add (min a x, max b y) rest
+
+(* Remove [a, b) from a sorted disjoint interval list. *)
+let rec interval_sub cur (a, b) =
+  match cur with
+  | [] -> []
+  | (x, y) :: rest when y <= a -> (x, y) :: interval_sub rest (a, b)
+  | (x, y) :: rest when b <= x -> (x, y) :: rest
+  | (x, y) :: rest ->
+    (if x < a then [ (x, a) ] else [])
+    @ (if b < y then [ (b, y) ] else [])
+    @ interval_sub rest (a, b)
+
+let mark_degraded t ~peer ~root ~chunk ~within ~len =
+  let set = degraded_set t peer in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt set (root, chunk)) in
+  Hashtbl.replace set (root, chunk) (interval_add (within, within + len) cur)
 
 let degraded_count t =
   Hashtbl.fold (fun _ set acc -> acc + Hashtbl.length set) t.degraded 0
@@ -174,15 +209,39 @@ let repair_chunk t ~root ~chunk ~data =
     t.disks.(d).Blockdev.Storage.write ~off data
   | _ -> ()
 
+(* §6's proposed fix for the lease-expiry hazard: reject any write
+   whose lease-derived expiration timestamp has already passed. *)
+let expired expires = match expires with Some e -> Sim.now () > e | None -> false
+
+exception Expired_stamp
+(* Raised when a mutation's §6 stamp lapsed while it waited for the
+   chunk lock; the handler turns it into the same rejection as an
+   arrival-time check. *)
+
 (* Write [data] into the chunk under epoch tag [epoch], copying an
    older extent first if a snapshot pinned it (copy-on-write). *)
-let write_chunk t ~root ~chunk ~within ~data ~epoch =
+let write_chunk t ~root ~chunk ~within ~data ~epoch ~expires =
   Faultpoint.hit "petal.chunk_write";
   with_chunk_lock t (root, chunk) @@ fun () ->
+  (* Re-check the stamp once the chunk lock is held: queueing behind
+     another mutation takes (simulated) time, and a stamp that lapsed
+     in the queue must not reach the disk either. *)
+  if expired expires then begin
+    t.stale_rejects <- t.stale_rejects + 1;
+    raise Expired_stamp
+  end;
+  (* The copy-on-write base read below can block on the raw disk, so
+     the stamp is audited once more at the actual disk-write instant;
+     a hit here is a §6 invariant violation the lease margin is sized
+     to prevent, and the partition sweep asserts it stays 0. *)
+  let audit_stamp () =
+    if expired expires then t.stale_applied <- t.stale_applied + 1
+  in
   let vl = versions t (root, chunk) in
   let whole = Bytes.length data = chunk_bytes && within = 0 in
   match !vl with
   | { epoch = e; loc = Some (d, off) } :: _ when e = epoch ->
+    audit_stamp ();
     t.disks.(d).Blockdev.Storage.write ~off:(off + within) data
   | current ->
     (* Fresh extent needed: tombstone at this epoch, older epoch, or
@@ -198,6 +257,7 @@ let write_chunk t ~root ~chunk ~within ~data ~epoch =
     let buf = if whole then data else base in
     if not whole then Bytes.blit data 0 buf within (Bytes.length data);
     let d, off = allocate t in
+    audit_stamp ();
     t.disks.(d).Blockdev.Storage.write ~off buf;
     (* Replace a same-epoch entry (tombstone, or a stale copy being
        repaired by resync); otherwise insert keeping the list sorted
@@ -213,9 +273,13 @@ let write_chunk t ~root ~chunk ~within ~data ~epoch =
     in
     vl := place current
 
-let decommit_chunk t ~root ~chunk ~epoch =
+let decommit_chunk t ~root ~chunk ~epoch ~expires =
   Faultpoint.hit "petal.chunk_decommit";
   with_chunk_lock t (root, chunk) @@ fun () ->
+  if expired expires then begin
+    t.stale_rejects <- t.stale_rejects + 1;
+    raise Expired_stamp
+  end;
   let vl = versions t (root, chunk) in
   match !vl with
   | [] -> ()
@@ -245,24 +309,28 @@ let forward_write t ~root ~chunk ~within ~data ~epoch ~expires =
     (* Degraded: the replica is unreachable; the write is single-copy
        until the resync daemon repairs it. *)
     Logs.debug (fun m -> m "%s: replica write degraded" (Host.name t.host));
-    mark_degraded t ~peer:(successor t) ~root ~chunk
+    mark_degraded t ~peer:(successor t) ~root ~chunk ~within
+      ~len:(Bytes.length data)
 
-(* Push the newest version of a degraded chunk to its lagging
-   replica; returns true on acknowledgement. *)
-let push_chunk t ~peer ~root ~chunk =
+(* Push the byte ranges of a degraded chunk the lagging replica
+   missed; returns true when every range is acknowledged. *)
+let push_chunk t ~peer ~root ~chunk ~ranges =
   match Hashtbl.find_opt t.chunks (root, chunk) with
   | None -> true (* vanished (decommitted): nothing to repair *)
   | Some vl -> (
     match !vl with
     | { epoch; loc = Some (d, off) } :: _ ->
-      let data = t.disks.(d).Blockdev.Storage.read ~off ~len:chunk_bytes in
-      (match
-         Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500)
-           ~size:(write_req_size chunk_bytes)
-           (Repl_req { root; chunk; within = 0; data; epoch; expires = None })
-       with
-      | Ok Write_ok -> true
-      | Ok _ | Error `Timeout -> false)
+      List.for_all
+        (fun (a, b) ->
+          let data = t.disks.(d).Blockdev.Storage.read ~off:(off + a) ~len:(b - a) in
+          match
+            Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500)
+              ~size:(write_req_size (b - a))
+              (Repl_req { root; chunk; within = a; data; epoch; expires = None })
+          with
+          | Ok Write_ok -> true
+          | Ok _ | Error `Timeout -> false)
+        ranges
     | { loc = None; _ } :: _ | [] -> true)
 
 let resync_daemon t () =
@@ -271,12 +339,24 @@ let resync_daemon t () =
     if Host.is_alive t.host && degraded_count t > 0 then
       Hashtbl.iter
         (fun peer set ->
-          let chunks = Hashtbl.fold (fun k () acc -> k :: acc) set [] in
+          let chunks = Hashtbl.fold (fun k v acc -> (k, v) :: acc) set [] in
           List.iteri
-            (fun i (root, chunk) ->
+            (fun i ((root, chunk), ranges) ->
               if i < 16 then begin
-                match push_chunk t ~peer ~root ~chunk with
-                | true -> Hashtbl.remove set (root, chunk)
+                match push_chunk t ~peer ~root ~chunk ~ranges with
+                | true -> (
+                  (* New failed forwards may have extended the entry
+                     while we were pushing: clear only what we sent. *)
+                  match Hashtbl.find_opt set (root, chunk) with
+                  | None -> ()
+                  | Some cur -> (
+                    match
+                      List.fold_left
+                        (fun acc r -> interval_sub acc r)
+                        cur ranges
+                    with
+                    | [] -> Hashtbl.remove set (root, chunk)
+                    | left -> Hashtbl.replace set (root, chunk) left))
                 | false -> ()
                 | exception Host.Crashed _ -> ()
               end)
@@ -293,9 +373,9 @@ let vdisk t root =
   | Some v -> v
   | None -> failwith "petal: unknown virtual disk"
 
-(* §6's proposed fix for the lease-expiry hazard: reject any write
-   whose lease-derived expiration timestamp has already passed. *)
-let expired expires = match expires with Some e -> Sim.now () > e | None -> false
+let reject_stale t =
+  t.stale_rejects <- t.stale_rejects + 1;
+  Some (Perr "expired lease timestamp", small)
 
 let handler t ~src body =
   match body with
@@ -324,41 +404,48 @@ let handler t ~src body =
         | Ok _ | Error `Timeout -> Some (Perr "media error", small)
       end
       else Some (Perr "media error", small))
-  | Write_req { expires; _ } when expired expires ->
-    Some (Perr "expired lease timestamp", small)
-  | Write_req { root; chunk; within; data; solo; expires } ->
+  | Write_req { expires; _ } when expired expires -> reject_stale t
+  | Write_req { root; chunk; within; data; solo; expires } -> (
     let v = vdisk t root in
     let epoch = v.epoch in
     (if solo && v.nrep > 1 then begin
        (* Degraded client write: we are the replica; the primary
           missed this update and must be repaired when it returns. *)
        let primary = t.peers.((v.root + chunk) mod Array.length t.peers) in
-       if primary <> Rpc.addr t.rpc then mark_degraded t ~peer:primary ~root ~chunk
+       if primary <> Rpc.addr t.rpc then
+         mark_degraded t ~peer:primary ~root ~chunk ~within
+           ~len:(Bytes.length data)
      end);
-    if (not solo) && v.nrep > 1 then begin
-      (* Apply locally and forward to the replica in parallel. *)
-      let fwd = Sim.Ivar.create () in
-      Sim.spawn (fun () ->
-          forward_write t ~root ~chunk ~within ~data ~epoch ~expires;
-          Sim.Ivar.fill fwd ());
-      write_chunk t ~root ~chunk ~within ~data ~epoch;
-      Sim.Ivar.read fwd
-    end
-    else write_chunk t ~root ~chunk ~within ~data ~epoch;
-    Some (Write_ok, small)
-  | Repl_req { expires; _ } when expired expires ->
-    Some (Perr "expired lease timestamp", small)
-  | Repl_req { root; chunk; within; data; epoch; expires = _ } ->
-    write_chunk t ~root ~chunk ~within ~data ~epoch;
-    Some (Write_ok, small)
-  | Decommit_req { root; chunk; forward } ->
+    match
+      if (not solo) && v.nrep > 1 then begin
+        (* Apply locally and forward to the replica in parallel. *)
+        let fwd = Sim.Ivar.create () in
+        Sim.spawn (fun () ->
+            forward_write t ~root ~chunk ~within ~data ~epoch ~expires;
+            Sim.Ivar.fill fwd ());
+        write_chunk t ~root ~chunk ~within ~data ~epoch ~expires;
+        Sim.Ivar.read fwd
+      end
+      else write_chunk t ~root ~chunk ~within ~data ~epoch ~expires
+    with
+    | () -> Some (Write_ok, small)
+    | exception Expired_stamp -> Some (Perr "expired lease timestamp", small))
+  | Repl_req { expires; _ } when expired expires -> reject_stale t
+  | Repl_req { root; chunk; within; data; epoch; expires } -> (
+    match write_chunk t ~root ~chunk ~within ~data ~epoch ~expires with
+    | () -> Some (Write_ok, small)
+    | exception Expired_stamp -> Some (Perr "expired lease timestamp", small))
+  | Decommit_req { expires; _ } when expired expires -> reject_stale t
+  | Decommit_req { root; chunk; forward; expires } -> (
     let v = vdisk t root in
-    decommit_chunk t ~root ~chunk ~epoch:v.epoch;
-    if forward && v.nrep > 1 then
-      ignore
-        (Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500) ~size:small
-           (Decommit_req { root; chunk; forward = false }));
-    Some (Decommit_ok, small)
+    match decommit_chunk t ~root ~chunk ~epoch:v.epoch ~expires with
+    | () ->
+      if forward && v.nrep > 1 then
+        ignore
+          (Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500) ~size:small
+             (Decommit_req { root; chunk; forward = false; expires }));
+      Some (Decommit_ok, small)
+    | exception Expired_stamp -> Some (Perr "expired lease timestamp", small))
   | Mgmt_req cmd ->
     let slot = P.propose t.paxos cmd in
     while P.applied_up_to t.paxos <= slot do
@@ -397,6 +484,8 @@ let create ~host ~rpc ~peers ~index ~disks ~stable =
         free = Array.map (fun _ -> ref []) disks;
         alloc_rr = 0;
         allocated = 0;
+        stale_rejects = 0;
+        stale_applied = 0;
       }
   in
   let t = Lazy.force t in

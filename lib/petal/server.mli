@@ -45,3 +45,14 @@ val set_trusted : t -> Cluster.Net.addr list option -> unit
 val degraded_count : t -> int
 (** Chunks this server knows to be stale on some replica, pending
     resync. Zero once anti-entropy has caught up after a failure. *)
+
+val stale_reject_count : t -> int
+(** Mutations (writes, replica pushes, decommits) refused because
+    their §6 lease-expiry stamp was in the past — at arrival or after
+    waiting for the chunk lock. *)
+
+val stale_applied_count : t -> int
+(** Writes that reached the raw disk with a lapsed stamp anyway (the
+    copy-on-write base read can block past the stamp). This is the §6
+    invariant the lease margin is sized to protect; the partition
+    sweep asserts it stays 0. *)

@@ -62,6 +62,79 @@ let test_partition () =
       | Ping 2 -> ()
       | _ -> Alcotest.fail "partitioned message should have been dropped")
 
+let test_partition_midflight () =
+  (* Documented Net semantics: cuts act at the delivery instant, so a
+     cut installed while a message is on the wire still drops it. *)
+  Sim.run (fun () ->
+      let net, _, _, pa, pb = mkpair () in
+      let nf = Netfault.create net in
+      Net.send pa ~dst:(Net.addr pb) ~size:1_000_000 (Ping 1);
+      (* The megabyte is in flight now; cut before it can land. *)
+      Netfault.cut nf (Net.addr pa) (Net.addr pb);
+      Sim.sleep (Sim.sec 1.0);
+      Netfault.heal nf (Net.addr pa) (Net.addr pb);
+      Net.send pa ~dst:(Net.addr pb) ~size:10 (Ping 2);
+      (match Net.recv pb with
+      | _, Ping 2 -> ()
+      | _ -> Alcotest.fail "mid-flight message should have been dropped");
+      Alcotest.(check int) "cut drop counted" 1 (Netfault.stats nf).Netfault.cut_drops)
+
+let test_netfault_oneway () =
+  Sim.run (fun () ->
+      let net, _, _, pa, pb = mkpair () in
+      let nf = Netfault.create net in
+      Netfault.cut ~oneway:true nf (Net.addr pa) (Net.addr pb);
+      Net.send pa ~dst:(Net.addr pb) ~size:10 (Ping 1);
+      Net.send pb ~dst:(Net.addr pa) ~size:10 (Ping 2);
+      (match Net.recv pa with
+      | _, Ping 2 -> ()
+      | _ -> Alcotest.fail "reverse direction must still deliver");
+      Sim.sleep (Sim.sec 0.5);
+      let got = ref false in
+      Sim.spawn (fun () ->
+          ignore (Net.recv pb);
+          got := true);
+      Sim.sleep (Sim.sec 0.5);
+      Alcotest.(check bool) "forward direction cut" false !got)
+
+let test_netfault_loss_deterministic () =
+  let experiment () =
+    Sim.run ~seed:5 (fun () ->
+        let net, _, _, pa, pb = mkpair () in
+        let nf = Netfault.create ~seed:9 net in
+        Netfault.shape ~drop:0.5 nf;
+        let got = ref [] in
+        Sim.spawn (fun () ->
+            while true do
+              match Net.recv pb with
+              | _, Ping n -> got := n :: !got
+              | _ -> ()
+            done);
+        for i = 1 to 100 do
+          Net.send pa ~dst:(Net.addr pb) ~size:10 (Ping i);
+          Sim.sleep (Sim.ms 5)
+        done;
+        Sim.sleep (Sim.sec 1.0);
+        (!got, (Netfault.stats nf).Netfault.loss_drops))
+  in
+  let got, drops = experiment () in
+  let got', drops' = experiment () in
+  Alcotest.(check bool) "some loss" true (drops > 0 && drops < 100);
+  Alcotest.(check (list int)) "same survivors" got got';
+  Alcotest.(check int) "same drops" drops drops'
+
+let test_netfault_delay () =
+  Sim.run (fun () ->
+      let net, _, _, pa, pb = mkpair () in
+      let nf = Netfault.create net in
+      Netfault.shape ~delay:(Sim.ms 50) nf;
+      let t0 = Sim.now () in
+      Net.send pa ~dst:(Net.addr pb) ~size:10 (Ping 1);
+      ignore (Net.recv pb);
+      Alcotest.(check bool) "delayed >= 50 ms" true (Sim.now () - t0 >= Sim.ms 50);
+      Alcotest.(check bool) "delay counted" true
+        ((Netfault.stats nf).Netfault.delayed >= 1))
+
 let test_rpc_roundtrip () =
   Sim.run (fun () ->
       let _, _, _, pa, pb = mkpair () in
@@ -125,6 +198,38 @@ let test_oneway_subscribe () =
       Sim.sleep (Sim.ms 10);
       Alcotest.(check (list string)) "received" [ "hb" ] !got)
 
+let test_call_retry_through_fault () =
+  (* Replies are cut one-way for a while: the handler must run exactly
+     once, retransmissions are absorbed by the dedup cache, and the
+     call still succeeds once the cut heals. *)
+  Sim.run (fun () ->
+      let net, _, _, pa, pb = mkpair () in
+      let nf = Netfault.create net in
+      let ca = Rpc.create pa and cb = Rpc.create pb in
+      let executed = ref 0 in
+      Rpc.add_handler cb (fun ~src:_ body ->
+          match body with
+          | Ping n ->
+            incr executed;
+            Some (Pong (n + 1), 8)
+          | _ -> None);
+      (* Lose the replies (b -> a) for the first three attempts. *)
+      Netfault.cut ~oneway:true nf (Net.addr pb) (Net.addr pa);
+      Sim.spawn (fun () ->
+          Sim.sleep (Sim.ms 700);
+          Netfault.heal nf (Net.addr pb) (Net.addr pa));
+      (match
+         Rpc.call_retry ca ~dst:(Rpc.addr cb) ~timeout:(Sim.ms 200)
+           ~attempts:8 ~backoff:(Sim.ms 50) ~size:8 (Ping 1)
+       with
+      | Ok (Pong 2) -> ()
+      | Ok _ -> Alcotest.fail "wrong reply"
+      | Error `Timeout -> Alcotest.fail "retry should recover after heal");
+      Alcotest.(check int) "handler ran once" 1 !executed;
+      let sa = Rpc.stats ca and sb = Rpc.stats cb in
+      Alcotest.(check bool) "retried" true (sa.Rpc.retries >= 2);
+      Alcotest.(check bool) "dups suppressed" true (sb.Rpc.dups_suppressed >= 1))
+
 let test_host_incarnation_guard () =
   Sim.run (fun () ->
       let h = Host.create "x" in
@@ -165,6 +270,16 @@ let () =
           Alcotest.test_case "link occupancy" `Quick test_link_occupancy;
           Alcotest.test_case "crash drops" `Quick test_crash_drops;
           Alcotest.test_case "partition" `Quick test_partition;
+        ] );
+      ( "netfault",
+        [
+          Alcotest.test_case "mid-flight cut drops" `Quick test_partition_midflight;
+          Alcotest.test_case "one-way cut" `Quick test_netfault_oneway;
+          Alcotest.test_case "seeded loss replays" `Quick
+            test_netfault_loss_deterministic;
+          Alcotest.test_case "delay shaping" `Quick test_netfault_delay;
+          Alcotest.test_case "call_retry through fault" `Quick
+            test_call_retry_through_fault;
         ] );
       ( "rpc",
         [

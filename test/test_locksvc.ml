@@ -177,6 +177,34 @@ let test_partitioned_clerk_expires () =
          Alcotest.fail "expected Lease_expired"
        with Types.Lease_expired -> ()))
 
+let test_renewal_drops_until_expiry () =
+  (* Nemesis flavour of the partition test: every renewal is dropped
+     by the fault layer until the lease lapses; the clerk must notice
+     the misses, expire, and after a heal a fresh clerk proceeds. *)
+  Sim.run (fun () ->
+      let bed = mkservice () in
+      let nf = Netfault.create bed.net in
+      let h, c = mkclerk bed "nemesed" in
+      ignore h;
+      let expired = ref false in
+      Clerk.set_callbacks c
+        ~on_revoke:(fun ~lock:_ ~to_read:_ -> ())
+        ~on_do_recovery:(fun ~dead_lease:_ -> ())
+        ~on_expired:(fun () -> expired := true);
+      Clerk.acquire c ~lock:11 Types.W;
+      Clerk.release c ~lock:11 Types.W;
+      Netfault.isolate nf 3 (* the clerk: attached after the 3 servers *);
+      Sim.sleep (Sim.sec 45.0);
+      Alcotest.(check bool) "expired under sustained drops" true !expired;
+      let s = Clerk.stats c in
+      Alcotest.(check bool) "renewal misses counted" true
+        (s.Clerk.renew_misses > 0);
+      Netfault.heal_all nf;
+      let _, c2 = mkclerk bed "fresh" in
+      Clerk.acquire c2 ~lock:11 Types.W;
+      Alcotest.(check (option mode)) "fresh clerk acquires after heal"
+        (Some Types.W) (Clerk.holds c2 ~lock:11))
+
 let test_lock_server_crash_reassignment () =
   Sim.run (fun () ->
       let bed = mkservice ~nservers:3 () in
@@ -282,6 +310,8 @@ let () =
             test_lease_expiry_triggers_recovery;
           Alcotest.test_case "partitioned clerk expires" `Quick
             test_partitioned_clerk_expires;
+          Alcotest.test_case "renewals dropped until expiry" `Quick
+            test_renewal_drops_until_expiry;
           Alcotest.test_case "lock server crash reassigns" `Quick
             test_lock_server_crash_reassignment;
         ] );

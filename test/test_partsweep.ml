@@ -1,0 +1,78 @@
+(* The network-nemesis partition sweep: a bounded subset of the
+   scripted + seeded schedules (the full 200-schedule sweep is
+   test_partsweep_full.exe), plus the determinism contract — the same
+   spec must replay bit-identically, or a seed in a failure report
+   would be unreproducible. *)
+
+module Sweep = Workloads.Partsweep
+
+let check_clean what (o : Sweep.outcome) =
+  Alcotest.(check (list string)) what [] (Sweep.failures o)
+
+(* The scripted scenarios most likely to regress: a full isolation
+   that forces the §6 expiry path, a brief one that must NOT, the
+   asymmetric cut that makes request retransmission dangerous
+   (requests execute, replies vanish), and a replica-set split that
+   leaves a resync backlog. *)
+let test_scripted_subset () =
+  let o = Sweep.run (Sweep.Scripted "isolate_server") in
+  check_clean "isolate_server" o;
+  Alcotest.(check bool) "45 s isolation expires the lease" true
+    o.Sweep.expired;
+  Alcotest.(check bool)
+    (Printf.sprintf "renewals were missed (got %d)" o.Sweep.renew_misses)
+    true
+    (o.Sweep.renew_misses > 0);
+  let o = Sweep.run (Sweep.Scripted "isolate_brief") in
+  check_clean "isolate_brief" o;
+  Alcotest.(check bool) "10 s outage stays inside the lease" false
+    o.Sweep.expired;
+  let o = Sweep.run (Sweep.Scripted "oneway_from_petal0") in
+  check_clean "oneway_from_petal0" o;
+  let o = Sweep.run (Sweep.Scripted "split_petal") in
+  check_clean "split_petal" o
+
+(* A lossy network exercises the retry path end to end: drops must
+   show up in the nemesis counters and retries in the RPC counters,
+   and everything still lands. *)
+let test_lossy () =
+  let o = Sweep.run (Sweep.Scripted "lossy") in
+  check_clean "lossy" o;
+  Alcotest.(check bool)
+    (Printf.sprintf "nemesis dropped messages (got %d)" o.Sweep.nf.Cluster.Netfault.loss_drops)
+    true
+    (o.Sweep.nf.Cluster.Netfault.loss_drops > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "rpc layer retried (got %d)" o.Sweep.rpc_retries)
+    true
+    (o.Sweep.rpc_retries > 0)
+
+(* Same spec, twice: every field of the outcome — including the
+   simulated end time and the nemesis counters — must match. *)
+let test_deterministic_replay () =
+  let o = Sweep.run (Sweep.Scripted "flap") in
+  check_clean "flap" o;
+  let o' = Sweep.run (Sweep.Scripted "flap") in
+  Alcotest.(check bool) "scripted replay is bit-identical" true (o = o');
+  let r = Sweep.run (Sweep.Random 7) in
+  let r' = Sweep.run (Sweep.Random 7) in
+  Alcotest.(check bool) "seeded replay is bit-identical" true (r = r')
+
+let test_random_seeds () =
+  List.iter
+    (fun n ->
+      check_clean (Printf.sprintf "random_%d" n) (Sweep.run (Sweep.Random n)))
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "partsweep"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "scripted subset" `Quick test_scripted_subset;
+          Alcotest.test_case "lossy network, retries" `Quick test_lossy;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay;
+          Alcotest.test_case "seeded schedules" `Quick test_random_seeds;
+        ] );
+    ]

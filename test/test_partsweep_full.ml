@@ -1,0 +1,61 @@
+(* The exhaustive partition sweep: every scripted nemesis schedule
+   plus enough seeded ones for 200 total runs, each checking the full
+   invariant set (no lapsed-stamp write applied, acked data survives,
+   resync backlog drains, fsck clean), with a determinism spot-check
+   every 20th run.
+
+   Too slow for tier-1 `dune runtest`; run it from the verify
+   workflow with:  dune exec test/test_partsweep_full.exe
+   (optionally `-- --stride S` to thin the seeded portion). *)
+
+module Sweep = Workloads.Partsweep
+
+let () =
+  let stride = ref 1 in
+  let () =
+    Arg.parse
+      [ ("--stride", Arg.Set_int stride, "N  run every Nth seeded schedule (default 1)") ]
+      (fun a -> raise (Arg.Bad a))
+      "test_partsweep_full [--stride N]"
+  in
+  let nscripted = List.length Sweep.scripted_labels in
+  let nrandom = 200 - nscripted in
+  let failed = ref 0 and ran = ref 0 in
+  let check spec (o : Sweep.outcome) =
+    incr ran;
+    (match Sweep.failures o with
+    | [] -> ()
+    | fs ->
+      incr failed;
+      List.iter (Printf.printf "FAIL (%s): %s\n%!" o.Sweep.label) fs);
+    (* Replay every 20th run: a sweep whose failures cannot be
+       reproduced from the printed label is worthless. *)
+    if !ran mod 20 = 0 then begin
+      let o' = Sweep.run spec in
+      if o <> o' then begin
+        incr failed;
+        Printf.printf "FAIL (%s): replay not bit-identical\n%!" o.Sweep.label
+      end
+    end
+  in
+  Printf.printf "partition sweep: %d scripted + %d seeded schedules, stride %d\n%!"
+    nscripted nrandom !stride;
+  List.iter
+    (fun name ->
+      let o = Sweep.run (Sweep.Scripted name) in
+      Printf.printf "  %-18s acked %2d failed %2d%s cuts %3d drops %4d retries %4d\n%!"
+        name o.Sweep.acked o.Sweep.failed_ops
+        (if o.Sweep.expired then " EXPIRED" else "        ")
+        o.Sweep.nf.Cluster.Netfault.cut_drops
+        o.Sweep.nf.Cluster.Netfault.loss_drops o.Sweep.rpc_retries;
+      check (Sweep.Scripted name) o)
+    Sweep.scripted_labels;
+  let n = ref 1 in
+  while !n <= nrandom do
+    let o = Sweep.run (Sweep.Random !n) in
+    check (Sweep.Random !n) o;
+    if !ran mod 25 = 0 then Printf.printf "  ... %d runs\n%!" !ran;
+    n := !n + !stride
+  done;
+  Printf.printf "partition sweep: %d runs, %d failures\n%!" !ran !failed;
+  if !failed > 0 then exit 1

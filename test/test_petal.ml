@@ -411,10 +411,48 @@ let test_failover_concurrent_pieces () =
       let got = Petal.Client.read vd ~off:0 ~len:(4 * chunk) in
       let r = Sim.now () - t0 in
       Alcotest.(check bool) "degraded contents" true (Bytes.equal data got);
+      (* The write's timeouts marked the dead server suspect, so the
+         read goes straight to the replica — no second failover wait. *)
       Alcotest.(check bool)
-        (Printf.sprintf "degraded reads fail over concurrently (read %dns)" r)
+        (Printf.sprintf "suspected primary skipped (read %dns)" r)
         true
-        (r >= Sim.sec 2.0 && r < Sim.sec 3.0))
+        (r < Sim.sec 1.0);
+      let s = Petal.Client.op_stats vd in
+      Alcotest.(check bool) "skips counted" true (s.Petal.Client.primary_skips > 0))
+
+let test_suspect_reprobe_heals () =
+  (* A cut primary is marked suspect and skipped; once the link heals
+     and the probe window opens, routing returns to the primary. *)
+  Sim.run (fun () ->
+      let net = Net.create () in
+      let tb = Petal.Testbed.build ~net ~nservers:2 ~ndisks:3 () in
+      let rpc = Rpc.create (Net.attach net (Host.create "client")) in
+      let c = Petal.Testbed.client tb ~rpc in
+      let vd = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
+      let nf = Netfault.create net in
+      let client_addr = Rpc.addr rpc in
+      (* Two chunks: with two servers their primaries alternate, so
+         one piece is certain to have the cut server as primary. *)
+      let data = bytes_pat (2 * chunk) 3 in
+      Petal.Client.write vd ~off:0 data;
+      let p0 = tb.Petal.Testbed.addrs.(0) in
+      Netfault.cut nf client_addr p0;
+      Petal.Client.write vd ~off:0 (bytes_pat (2 * chunk) 4);
+      let s = Petal.Client.op_stats vd in
+      Alcotest.(check bool) "timed out on primary" true
+        (s.Petal.Client.failovers > 0);
+      (* While suspected, ops skip the primary without paying timeouts. *)
+      let t0 = Sim.now () in
+      ignore (Petal.Client.read vd ~off:0 ~len:(2 * chunk));
+      Alcotest.(check bool) "skip is fast" true (Sim.now () - t0 < Sim.sec 1.0);
+      Alcotest.(check bool) "skips counted" true
+        ((Petal.Client.op_stats vd).Petal.Client.primary_skips > 0);
+      Netfault.heal nf client_addr p0;
+      Sim.sleep (Sim.sec 6.0) (* past the probe interval *);
+      ignore (Petal.Client.read vd ~off:0 ~len:(2 * chunk));
+      Petal.Client.write vd ~off:0 (bytes_pat (2 * chunk) 5);
+      Alcotest.(check bool) "probe healed the suspicion" true
+        ((Petal.Client.op_stats vd).Petal.Client.probe_heals > 0))
 
 (* --- scatter-gather multi-extent reads ------------------------------------- *)
 
@@ -528,6 +566,8 @@ let () =
           Alcotest.test_case "lease write guard" `Quick test_write_guard;
           Alcotest.test_case "resync after degraded writes" `Quick
             test_resync_after_degraded_writes;
+          Alcotest.test_case "suspected primary re-probed after heal" `Quick
+            test_suspect_reprobe_heals;
           Alcotest.test_case "trusted address list" `Quick test_trusted_addresses;
           Alcotest.test_case "CRC damage repaired from replica" `Quick
             test_crc_damage_repaired_from_replica;
