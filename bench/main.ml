@@ -496,7 +496,7 @@ let print_net_delta name (p_rpc : Cluster.Rpc.stats) (p_cl : Locksvc.Clerk.stats
 
 let json_bench () =
   print_endline hrule;
-  print_endline "BENCH_4.json: throughput + latency percentiles per workload";
+  print_endline "BENCH_5.json: throughput + latency percentiles per workload";
   let results : (string * float * int * float * float) list ref = ref [] in
   let record name ~bytes ~elapsed lats =
     let thr =
@@ -603,8 +603,59 @@ let json_bench () =
   in
   petal_write "petal_write_64kb_1chunk" ~reps:20 ~len:Petal.Protocol.chunk_bytes;
   petal_write "petal_write_192kb_3chunks" ~reps:20 ~len:(3 * Petal.Protocol.chunk_bytes);
+  (* Reconfiguration drain cost: how long the Paxos-agreed ownership
+     handoff takes to stream a settled 8 MB store to a joining (then
+     from a leaving) member, and how much data moves. Collected into
+     the json's "reconf" section (counter-only — check_regress reads
+     only the "workloads" section). *)
+  let reconf_rows : (string * float * int * int) list ref = ref [] in
+  Sim.run (fun () ->
+      let net = Cluster.Net.create () in
+      let tb = Petal.Testbed.build ~net ~nservers:5 ~nactive:4 ~ndisks:3 () in
+      let ch = Cluster.Host.create "rclient" in
+      let rpc = Cluster.Rpc.create (Cluster.Net.attach net ch) in
+      let c = Petal.Testbed.client tb ~rpc in
+      let vd = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
+      let data = Bytes.make Petal.Protocol.chunk_bytes 'r' in
+      for i = 0 to 127 do
+        Petal.Client.write vd ~off:(i * Petal.Protocol.chunk_bytes) data
+      done;
+      let servers = tb.Petal.Testbed.servers in
+      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 servers in
+      let await_epoch e =
+        let rec go n =
+          let me, _ = Petal.Client.fetch_map c in
+          if me < e && n > 0 then begin
+            Sim.sleep (Sim.sec 1.0);
+            go (n - 1)
+          end
+        in
+        go 600
+      in
+      let measure name f =
+        let p0 = sum Petal.Server.xfer_push_count in
+        let b0 = sum Petal.Server.xfer_bytes_pushed in
+        let t0 = Sim.now () in
+        f ();
+        let row =
+          ( name,
+            Sim.to_sec (Sim.now () - t0),
+            sum Petal.Server.xfer_push_count - p0,
+            sum Petal.Server.xfer_bytes_pushed - b0 )
+        in
+        reconf_rows := !reconf_rows @ [ row ];
+        let _, secs, pushes, bytes = row in
+        Printf.printf "  reconf[%-13s] drain %6.2f s  pushes %5d  bytes %9d\n"
+          name secs pushes bytes
+      in
+      measure "join_standby" (fun () ->
+          Petal.Client.add_server c ~idx:4;
+          await_epoch 1);
+      measure "drain_member" (fun () ->
+          Petal.Client.remove_server c ~idx:0;
+          await_epoch 2));
   let rows = List.rev !results in
-  let oc = open_out "BENCH_4.json" in
+  let oc = open_out "BENCH_5.json" in
   Printf.fprintf oc "{\n  \"pr\": 4,\n  \"workloads\": {\n";
   List.iteri
     (fun i (name, thr, ops, p50, p99) ->
@@ -626,6 +677,15 @@ let json_bench () =
         name calls attempts timeouts retries dups rounds misses
         (if i = List.length !net_rows - 1 then "" else ","))
     !net_rows;
+  Printf.fprintf oc "  },\n  \"reconf\": {\n";
+  List.iteri
+    (fun i (name, secs, pushes, bytes) ->
+      Printf.fprintf oc
+        "    %S: { \"drain_seconds\": %.3f, \"chunks_pushed\": %d, \
+         \"bytes_migrated\": %d }%s\n"
+        name secs pushes bytes
+        (if i = List.length !reconf_rows - 1 then "" else ","))
+    !reconf_rows;
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
   List.iter
@@ -633,7 +693,7 @@ let json_bench () =
       Printf.printf "%-28s %8.1f MB/s %5d ops  p50 %8.3f ms  p99 %8.3f ms\n" name
         thr ops p50 p99)
     rows;
-  print_endline "wrote BENCH_4.json"
+  print_endline "wrote BENCH_5.json"
 
 (* --- Bechamel microbenchmarks ------------------------------------------------------ *)
 

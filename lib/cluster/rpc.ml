@@ -17,6 +17,7 @@ type stats = {
   timeouts : int;
   retries : int;
   dups_suppressed : int;
+  dedup_evictions : int;
 }
 
 (* Server-side duplicate-suppression cache for [dedup] requests
@@ -26,10 +27,11 @@ type stats = {
    without re-executing a non-idempotent handler. *)
 type cached = In_progress | Done of (Net.payload * int)
 
-let dedup_cap = 1024
+let default_dedup_cap = 1024
 
 type t = {
   port : Net.port;
+  dedup_cap : int;
   mutable handlers : handler list;
   mutable oneway_subs : (src:Net.addr -> Net.payload -> unit) list;
   pending : (int, (Net.payload, error) result Sim.Ivar.t * Sim.Timer.t) Hashtbl.t;
@@ -41,6 +43,7 @@ type t = {
   mutable s_timeouts : int;
   mutable s_retries : int;
   mutable s_dups : int;
+  mutable s_evictions : int;
 }
 
 let port t = t.port
@@ -56,6 +59,7 @@ let stats t =
     timeouts = t.s_timeouts;
     retries = t.s_retries;
     dups_suppressed = t.s_dups;
+    dedup_evictions = t.s_evictions;
   }
 
 let run_handlers t ~src body =
@@ -96,8 +100,16 @@ let handle_request t ~src id ~dedup body =
     | None -> (
       Hashtbl.replace t.replies key In_progress;
       Queue.push key t.reply_order;
-      if Queue.length t.reply_order > dedup_cap then
-        Hashtbl.remove t.replies (Queue.pop t.reply_order);
+      if Queue.length t.reply_order > t.dedup_cap then begin
+        (* Bounded reply cache: the oldest entry's reply is forgotten.
+           A retransmission of that request will re-execute its
+           handler — safe as long as callers only use [call_retry]
+           for operations that tolerate re-execution against a
+           restarted server (the crash path already forgets the whole
+           cache). *)
+        t.s_evictions <- t.s_evictions + 1;
+        Hashtbl.remove t.replies (Queue.pop t.reply_order)
+      end;
       match run_handlers t ~src body with
       | Some r ->
         Hashtbl.replace t.replies key (Done r);
@@ -139,10 +151,11 @@ let dispatcher t () =
   in
   loop ()
 
-let create port =
+let create ?(dedup_cap = default_dedup_cap) port =
   let t =
     {
       port;
+      dedup_cap;
       handlers = [];
       oneway_subs = [];
       pending = Hashtbl.create 64;
@@ -154,6 +167,7 @@ let create port =
       s_timeouts = 0;
       s_retries = 0;
       s_dups = 0;
+      s_evictions = 0;
     }
   in
   (* The dedup cache is volatile server state: a crash loses it, so a

@@ -15,12 +15,16 @@ type handler = src:Net.addr -> Net.payload -> (Net.payload * int) option
 
 type t
 
-val create : Net.port -> t
+val create : ?dedup_cap:int -> Net.port -> t
 (** Create the endpoint and start its dispatcher. The dispatcher
     lives as long as the simulation; while the host is crashed no
     messages are delivered to it, so the endpoint simply falls
     silent and resumes after a restart (services model volatile-state
-    loss with [Host.on_crash] hooks). *)
+    loss with [Host.on_crash] hooks). [dedup_cap] (default 1024)
+    bounds the server-side reply cache backing [call_retry]'s
+    duplicate suppression; an evicted entry makes a late
+    retransmission re-execute its handler, which is counted in
+    {!stats} and exercised by a directed test. *)
 
 val port : t -> Net.port
 val addr : t -> Net.addr
@@ -82,6 +86,9 @@ type stats = {
   timeouts : int;  (** attempts that timed out *)
   retries : int;  (** retransmissions by [call_retry] *)
   dups_suppressed : int;  (** server-side duplicate requests absorbed *)
+  dedup_evictions : int;
+      (** reply-cache entries dropped because the cache hit its cap —
+          each one licenses a (safe) re-execution on retransmission *)
 }
 
 val stats : t -> stats

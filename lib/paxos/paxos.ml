@@ -193,6 +193,7 @@ struct
     | None -> None
 
   let applied_up_to t = t.applied
+  let round t = t.round
 
   let catch_up_daemon t () =
     let h = Rpc.host t.rpc in

@@ -47,4 +47,10 @@ end) : sig
   val decided : t -> int -> C.t option
   val applied_up_to : t -> int
   (** Slots [0 .. applied_up_to - 1] have been applied locally. *)
+
+  val round : t -> int
+  (** This replica's current ballot round (its proposal epoch). Grows
+      with every contested proposal — nemesis tests read it to verify
+      that duelling proposers actually fought over ballots instead of
+      the schedule degenerating to uncontended runs. *)
 end

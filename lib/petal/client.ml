@@ -5,12 +5,21 @@ open Protocol
 type t = {
   rpc : Rpc.t;
   servers : Net.addr array;
+      (* the fixed provisioned-member set; which members serve data is
+         the Paxos-agreed [active] map below *)
   timeout : Sim.time;
   inflight : Sim.Resource.t;
       (* bounds outstanding chunk pieces: submission blocks here, so
          backpressure lives at the driver, not in every caller *)
   mutable write_guard : unit -> int option;
       (* expiration timestamp attached to every write (§6 fix) *)
+  (* The ownership map this client routes under. Every data request
+     carries [mepoch]; a server whose committed map differs answers
+     [Wrong_epoch] and the client refetches the map (via [call_retry])
+     and retries — so a stale client converges instead of surfacing
+     spurious replica loss to the cache layer. *)
+  mutable active : int array;
+  mutable mepoch : int;
   mutable write_ops : int;
   mutable write_ns : int;
   mutable read_ops : int;
@@ -27,6 +36,8 @@ type t = {
   mutable failover_count : int;
   mutable primary_skip_count : int;
   mutable probe_heal_count : int;
+  mutable map_refresh_count : int;
+  mutable wrong_epoch_retry_count : int;
 }
 
 type vdisk = {
@@ -53,6 +64,8 @@ type stats = {
   failovers : int;
   primary_skips : int;
   probe_heals : int;
+  map_refreshes : int;
+  wrong_epoch_retries : int;
 }
 
 (* The paper keeps "several megabytes" of write-behind in flight
@@ -62,14 +75,21 @@ let max_inflight_pieces = 64
 (* The per-replica timeout must comfortably exceed a queued raw-disk
    write burst; failover latency is dominated by it, so it trades
    responsiveness against spurious degradation. *)
-let connect ~rpc ~servers =
+let connect ~rpc ~servers ?active () =
+  let active =
+    match active with
+    | Some l -> Array.of_list (List.sort_uniq compare l)
+    | None -> Array.init (Array.length servers) Fun.id
+  in
   { rpc; servers; timeout = Sim.sec 2.0;
     inflight = Sim.Resource.create ~capacity:max_inflight_pieces "petal.inflight";
     write_guard = (fun () -> None);
+    active; mepoch = 0;
     write_ops = 0; write_ns = 0; read_ops = 0; read_ns = 0;
     read_piece_count = 0; read_rpc_count = 0; read_coalesce_count = 0;
     suspects = Hashtbl.create 4;
-    failover_count = 0; primary_skip_count = 0; probe_heal_count = 0 }
+    failover_count = 0; primary_skip_count = 0; probe_heal_count = 0;
+    map_refresh_count = 0; wrong_epoch_retry_count = 0 }
 
 (* How long a timed-out server is skipped before a piece probes it
    again. Short enough that a healed partition stops costing the
@@ -91,10 +111,55 @@ let op_stats v =
     failovers = v.c.failover_count;
     primary_skips = v.c.primary_skip_count;
     probe_heals = v.c.probe_heal_count;
+    map_refreshes = v.c.map_refresh_count;
+    wrong_epoch_retries = v.c.wrong_epoch_retry_count;
   }
 
-let primary_of t ~root ~chunk = (root + chunk) mod Array.length t.servers
-let secondary_of t ~root ~chunk = (primary_of t ~root ~chunk + 1) mod Array.length t.servers
+(* Placement mirrors Server.owners_under exactly: ring slot
+   [(root + chunk) mod n] of the sorted active array is the primary
+   member, the next slot the replica. Both sides compute it from the
+   same Paxos-agreed map, keyed by [mepoch]. *)
+let primary_of t ~root ~chunk =
+  t.active.((root + chunk) mod Array.length t.active)
+
+let secondary_of t ~root ~chunk =
+  t.active.(((root + chunk) mod Array.length t.active + 1) mod Array.length t.active)
+
+(* Poll order for control-plane requests (map fetch, management,
+   open): active members first — they are alive with high probability
+   — then the standbys, which also participate in the Paxos group. *)
+let poll_order t =
+  Array.to_list t.active
+  @ List.filter
+      (fun i -> not (Array.exists (( = ) i) t.active))
+      (List.init (Array.length t.servers) Fun.id)
+
+(* Refetch the ownership map after a [Wrong_epoch] reject. Uses
+   [call_retry] (retransmission + dedup) so a single lossy link does
+   not turn a map refresh into a spurious failure; tries every member
+   because during a reconfiguration some servers lag the Paxos
+   apply. Keeps the old map if nobody offers a newer one — the
+   caller's retry will then fail visibly rather than loop. *)
+let refresh_map t =
+  t.map_refresh_count <- t.map_refresh_count + 1;
+  let rec go = function
+    | [] -> ()
+    | i :: rest -> (
+      match
+        Rpc.call_retry t.rpc ~dst:t.servers.(i) ~timeout:(Sim.ms 400)
+          ~attempts:2 ~size:small Map_req
+      with
+      | Ok (Map { mepoch; active }) when mepoch > t.mepoch ->
+        t.mepoch <- mepoch;
+        t.active <- Array.of_list active
+      | Ok (Map _) -> go rest (* not newer: maybe a lagging server *)
+      | Ok _ | Error `Timeout -> go rest)
+  in
+  go (poll_order t)
+
+let fetch_map t =
+  refresh_map t;
+  (t.mepoch, Array.to_list t.active)
 
 (* A scatter-gather operation: every chunk piece is submitted up
    front (bounded by the in-flight pool), then a waiter process per
@@ -140,13 +205,25 @@ let note_primary_ok t pi =
     Hashtbl.remove t.suspects pi
   end
 
+(* How many map-refresh rounds a piece tolerates before giving up.
+   One round suffices for a plain stale map; a couple more ride out
+   the window where servers apply the cutover at slightly different
+   instants. *)
+let max_map_rounds = 4
+
 (* Submit one piece: fire the first RPC from the submitting process
    (so submission order is preserved and backpressure is felt there),
    then hand completion to a fresh process. [on_reply] interprets the
    server's answer, raising to fail the whole operation. The primary
    is skipped while suspected (a recent timeout) and re-probed once
    its window opens, so a healed link resumes primary routing instead
-   of pinning failover. *)
+   of pinning failover.
+
+   [req_of] is re-evaluated on every attempt so retries carry the
+   client's {e current} map epoch: a [Wrong_epoch] reject triggers a
+   map refresh and a re-route against the new owners (bounded by
+   [max_map_rounds]), which is how a client rides through a
+   reconfiguration cutover without surfacing replica loss. *)
 let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
   Sim.Resource.acquire t.inflight;
   let pi = primary_of t ~root ~chunk in
@@ -164,36 +241,72 @@ let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
       Sim.Resource.release t.inflight;
       raise ex
   in
+  (* One routed attempt against the current map: primary first (unless
+     freshly suspected), then the replica. *)
+  let routed_attempt () =
+    let pi = primary_of t ~root ~chunk in
+    match
+      Rpc.call t.rpc ~dst:t.servers.(pi) ~timeout:t.timeout ~size
+        (req_of ~solo:false)
+    with
+    | Ok r ->
+      note_primary_ok t pi;
+      Some r
+    | Error `Timeout ->
+      note_primary_timeout t pi;
+      if nrep > 1 then
+        match
+          Rpc.call t.rpc ~dst:t.servers.(secondary_of t ~root ~chunk)
+            ~timeout:t.timeout ~size (req_of ~solo:true)
+        with
+        | Ok r -> Some r
+        | Error `Timeout -> None
+      else None
+  in
+  let rec resolve rounds reply =
+    match reply with
+    | Some (Wrong_epoch { mepoch = srv }) when rounds < max_map_rounds ->
+      t.wrong_epoch_retry_count <- t.wrong_epoch_retry_count + 1;
+      (* If the rejecting server is not ahead of us, it (or we) sit in
+         the window where the Paxos apply has reached some servers but
+         not others: wait the lag out before refetching, otherwise the
+         refresh just reads the same map back. *)
+      if srv <= t.mepoch then Sim.sleep (Sim.ms 250);
+      refresh_map t;
+      resolve (rounds + 1) (routed_attempt ())
+    | r -> r
+  in
   Sim.spawn (fun () ->
       match
-        match Sim.Ivar.read first with
-        | Ok r ->
-          if not to_secondary then note_primary_ok t pi;
-          Some r
-        | Error `Timeout when to_secondary -> (
-          (* The replica detour failed; the suspicion may be stale
-             (the fault moved), so probe the skipped primary before
-             declaring the data unreachable. *)
-          match
-            Rpc.call t.rpc ~dst:t.servers.(pi) ~timeout:t.timeout ~size
-              (req_of ~solo:false)
-          with
+        resolve 0
+          (match Sim.Ivar.read first with
           | Ok r ->
-            note_primary_ok t pi;
+            if not to_secondary then note_primary_ok t pi;
             Some r
+          | Error `Timeout when to_secondary -> (
+            (* The replica detour failed; the suspicion may be stale
+               (the fault moved), so probe the skipped primary before
+               declaring the data unreachable. *)
+            match
+              Rpc.call t.rpc ~dst:t.servers.(pi) ~timeout:t.timeout ~size
+                (req_of ~solo:false)
+            with
+            | Ok r ->
+              note_primary_ok t pi;
+              Some r
+            | Error `Timeout ->
+              note_primary_timeout t pi;
+              None)
           | Error `Timeout ->
             note_primary_timeout t pi;
-            None)
-        | Error `Timeout ->
-          note_primary_timeout t pi;
-          if nrep > 1 then
-            match
-              Rpc.call t.rpc ~dst:t.servers.(secondary_of t ~root ~chunk)
-                ~timeout:t.timeout ~size (req_of ~solo:true)
-            with
-            | Ok r -> Some r
-            | Error `Timeout -> None
-          else None
+            if nrep > 1 then
+              match
+                Rpc.call t.rpc ~dst:t.servers.(secondary_of t ~root ~chunk)
+                  ~timeout:t.timeout ~size (req_of ~solo:true)
+              with
+              | Ok r -> Some r
+              | Error `Timeout -> None
+            else None)
       with
       | exception ex ->
         (* Our own host died mid-failover: fail the op, don't abort
@@ -209,42 +322,50 @@ let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
             else "petal: server unreachable"
           in
           gather_fill g (Error (Unavailable msg))
+        | Some (Wrong_epoch _) ->
+          (* Map rounds exhausted: the cluster is reconfiguring faster
+             than we can refetch, or every refresh source is cut off.
+             Same caller-visible outcome as replica loss. *)
+          gather_fill g (Error (Unavailable "petal: ownership map stale"))
         | Some r -> (
           match on_reply r with
           | () -> gather_piece_done g
           | exception ex -> gather_fill g (Error ex))))
 
 let mgmt t cmd =
-  let n = Array.length t.servers in
-  let rec go i =
-    if i >= n then raise (Unavailable "petal: no server for management op")
-    else
+  let order = poll_order t in
+  let rec go = function
+    | [] -> raise (Unavailable "petal: no server for management op")
+    | i :: rest -> (
       match
         Rpc.call t.rpc ~dst:t.servers.(i) ~timeout:(Sim.sec 2.0) ~size:small
           (Mgmt_req cmd)
       with
       | Ok (Mgmt_ok id) -> id
       | Ok (Perr e) -> failwith ("petal: " ^ e)
-      | Ok _ | Error `Timeout -> go (i + 1)
+      | Ok _ | Error `Timeout -> go rest)
   in
-  go 0
+  go order
 
 let create_vdisk t ~nrep = mgmt t (Create_vdisk { nrep })
 
+let add_server t ~idx = ignore (mgmt t (Add_server { idx }))
+let remove_server t ~idx = ignore (mgmt t (Remove_server { idx }))
+
 let open_vdisk t vid =
-  let n = Array.length t.servers in
-  let rec go i =
-    if i >= n then raise (Unavailable "petal: no server for open")
-    else
+  let order = poll_order t in
+  let rec go = function
+    | [] -> raise (Unavailable "petal: no server for open")
+    | i :: rest -> (
       match
         Rpc.call t.rpc ~dst:t.servers.(i) ~timeout:(Sim.ms 500) ~size:small
           (Vdisk_info_req vid)
       with
       | Ok (Vdisk_info { root; nrep; frozen }) -> { c = t; vid; root; nrep; frozen }
       | Ok (Perr e) -> failwith ("petal: " ^ e)
-      | Ok _ | Error `Timeout -> go (i + 1)
+      | Ok _ | Error `Timeout -> go rest)
   in
-  go 0
+  go order
 
 let id v = v.vid
 let is_snapshot v = v.frozen <> None
@@ -315,7 +436,9 @@ let read_scatter v ~runs ~result ~account =
         (fun (chunk, within, len, ds) ->
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:read_req_size
             ~req_of:(fun ~solo:_ ->
-              Read_req { root = v.root; chunk; within; len; sel = sel v })
+              Read_req
+                { root = v.root; chunk; within; len; sel = sel v;
+                  mepoch = v.c.mepoch })
             ~on_reply:(function
               | Read_ok data ->
                 List.iter
@@ -366,7 +489,9 @@ let write_async v ~off data =
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep
             ~size:(write_req_size n)
             ~req_of:(fun ~solo ->
-              Write_req { root = v.root; chunk; within; data = piece; solo; expires })
+              Write_req
+                { root = v.root; chunk; within; data = piece; solo;
+                  mepoch = v.c.mepoch; expires })
             ~on_reply:(function
               | Write_ok -> ()
               | Perr "expired lease timestamp" ->
@@ -398,7 +523,9 @@ let decommit_async v ~off ~len =
           let expires = v.c.write_guard () in
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:small
             ~req_of:(fun ~solo ->
-              Decommit_req { root = v.root; chunk; forward = not solo; expires })
+              Decommit_req
+                { root = v.root; chunk; forward = not solo;
+                  mepoch = v.c.mepoch; expires })
             ~on_reply:(function
               | Decommit_ok -> ()
               | Perr "expired lease timestamp" ->

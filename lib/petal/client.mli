@@ -1,10 +1,11 @@
 (** The Petal "device driver": makes the distributed virtual disk
     look like an ordinary local disk to its host (paper §2.1).
 
-    It routes each chunk request to the responsible server, fails
-    over to the replica on timeout, and hides striping entirely.
-    All offsets and lengths must be 512-byte aligned; requests may
-    span chunk boundaries and are split internally.
+    It routes each chunk request to the responsible server under the
+    cluster's Paxos-agreed ownership map, fails over to the replica
+    on timeout, and hides striping entirely. All offsets and lengths
+    must be 512-byte aligned; requests may span chunk boundaries and
+    are split internally.
 
     I/O is submit-then-wait: {!read_async} and {!write_async} fan all
     chunk pieces out concurrently (each piece failing over to its
@@ -12,7 +13,13 @@
     blocking {!read}/{!write} are thin wrappers. Submission applies
     backpressure — at most {!max_inflight_pieces} pieces are
     outstanding per driver, so a flood of writes blocks the submitter
-    rather than growing unbounded queues. *)
+    rather than growing unbounded queues.
+
+    Reconfiguration: every data request carries the map epoch the
+    client routed under. A server whose committed map differs rejects
+    with [Wrong_epoch]; the driver then refetches the map (through
+    [Rpc.call_retry]) and re-routes the piece, so membership changes
+    are invisible to the cache layer above. *)
 
 type t
 (** A driver instance (one per client host). *)
@@ -36,11 +43,34 @@ val max_inflight_pieces : int
 (** Bound on outstanding chunk pieces per driver (the write-behind
     window of §4 — 64 pieces of up to 64 KB is 4 MB). *)
 
-val connect : rpc:Cluster.Rpc.t -> servers:Cluster.Net.addr array -> t
+val connect :
+  rpc:Cluster.Rpc.t ->
+  servers:Cluster.Net.addr array ->
+  ?active:int list ->
+  unit ->
+  t
+(** [servers] is the fixed provisioned-member array (same order on
+    every client and server); [active] the member indexes initially
+    serving data (default: all). The driver keeps its map current by
+    refetching on [Wrong_epoch] rejects. *)
+
+val fetch_map : t -> int * int list
+(** Force a map refetch and return the (epoch, active members) the
+    driver now routes under. Used by reconfiguration drivers to
+    observe cutover. *)
 
 val create_vdisk : t -> nrep:int -> int
 (** Ask the Petal cluster to create a virtual disk with [nrep] (1 or
     2) replicas; returns its id. *)
+
+val add_server : t -> idx:int -> unit
+(** Propose activating standby member [idx] (Paxos-agreed; returns
+    once accepted into the log). Raises [Failure] if the cluster
+    rejects it — e.g. another reconfiguration is still pending. *)
+
+val remove_server : t -> idx:int -> unit
+(** Propose decommissioning member [idx]; same contract as
+    {!add_server}. *)
 
 val open_vdisk : t -> int -> vdisk
 (** Fetch the disk's metadata from the cluster and return a handle.
@@ -102,6 +132,8 @@ type stats = {
   failovers : int;  (** piece RPCs that timed out on the primary *)
   primary_skips : int;  (** pieces routed straight to the replica *)
   probe_heals : int;  (** suspected primaries found healthy again *)
+  map_refreshes : int;  (** ownership-map refetches *)
+  wrong_epoch_retries : int;  (** pieces re-routed after a [Wrong_epoch] *)
 }
 
 val op_stats : vdisk -> stats

@@ -17,13 +17,43 @@ let sector_bytes = 512
 type epoch_sel = Current | At of int
 
 (** Management commands agreed on via Paxos; applying them in log
-    order keeps every server's virtual-disk table identical. *)
+    order keeps every server's virtual-disk table identical — and,
+    since PR 5, the cluster's chunk-ownership map as well.
+
+    Membership reconfiguration is a two-phase handoff: [Add_server] /
+    [Remove_server] open a {e pending transfer} towards a target
+    active set (the old map stays authoritative for all data traffic
+    while owners stream the affected chunks to their future owners in
+    the background), and [Complete_transfer] — proposed only once
+    every obligated server reports a drained transfer backlog —
+    atomically cuts the cluster over to the new map and bumps the map
+    epoch. [target] names the map epoch the transfer would commit, so
+    duplicate proposals (every server polls for drain and may race to
+    propose) are idempotent. *)
 type mgmt_cmd =
   | Create_vdisk of { nrep : int }
   | Snapshot of { src : int }  (** Freeze [src]'s current epoch. *)
+  | Add_server of { idx : int }
+      (** Begin activating standby member [idx] (index into the fixed
+          provisioned-member array shared by all servers). *)
+  | Remove_server of { idx : int }  (** Begin decommissioning member [idx]. *)
+  | Complete_transfer of { target : int }
+      (** Commit the pending transfer whose target map epoch is
+          [target]; a no-op for any other value. *)
 
 type Net.payload +=
-  | Read_req of { root : int; chunk : int; within : int; len : int; sel : epoch_sel }
+  | Read_req of {
+      root : int;
+      chunk : int;
+      within : int;
+      len : int;
+      sel : epoch_sel;
+      mepoch : int;
+          (** The map epoch the client routed this request under; a
+              server whose committed map differs rejects with
+              {!Wrong_epoch} instead of serving possibly-migrated
+              data. *)
+    }
   | Read_ok of bytes
   | Write_req of {
       root : int;
@@ -31,6 +61,7 @@ type Net.payload +=
       within : int;
       data : bytes;
       solo : bool;  (** Degraded-mode write: do not forward to the replica. *)
+      mepoch : int;  (** Routing map epoch, as in {!Read_req}. *)
       expires : int option;
           (** §6's proposed guard: the writer's lease expiry (minus
               margin); the server ignores the write if it arrives
@@ -43,12 +74,21 @@ type Net.payload +=
       data : bytes;
       epoch : int;
       expires : int option;
+      stamp : int;
+          (** Time the carried bytes were originally written. A
+              replica that itself accepted a NEWER solo write to an
+              overlapping range must not let this older copy clobber
+              it (each byte range has a single serialized writer — the
+              FS lock holder — so write time totally orders copies). *)
     }
   | Write_ok
   | Decommit_req of {
       root : int;
       chunk : int;
       forward : bool;
+      mepoch : int;  (** Routing map epoch, as in {!Read_req}. [-1] on
+          peer-to-peer propagation (forwards and resync pushes), which
+          bypasses the ownership check. *)
       expires : int option;
           (* same §6 stamp as writes: freeing chunks after lease
              expiry is just as hazardous as writing them *)
@@ -58,6 +98,21 @@ type Net.payload +=
   | Mgmt_ok of int  (** The id assigned to the new (or snapshot) virtual disk. *)
   | Vdisk_info_req of int
   | Vdisk_info of { root : int; nrep : int; frozen : int option }
+  | Map_req
+  | Map of { mepoch : int; active : int list }
+      (** The committed ownership map: the epoch and the sorted member
+          indexes currently serving data. *)
+  | Xfer_status_req
+  | Xfer_status of { mepoch : int; pending : bool; backlog : int }
+      (** Reconfiguration drain probe: the server's committed map
+          epoch, whether it knows of a pending transfer, and how many
+          chunk entries its push backlog still holds. *)
+  | Wrong_epoch of { mepoch : int }
+      (** Data request rejected: the client's routing map epoch does
+          not match the server's committed map (or the server is not
+          an owner of the addressed chunk under it). Carries the
+          server's epoch so the client knows whether to refetch or
+          just wait out apply lag. *)
   | Perr of string
 
 (* Message-size accounting (bytes of simulated wire traffic). *)

@@ -14,10 +14,19 @@ type vinfo = {
    or a tombstone ([loc = None]) recording a decommit. *)
 type version = { epoch : int; loc : (int * int) option (* disk index, offset *) }
 
+(* A reconfiguration in flight: the Paxos log has agreed on a new
+   active set, the old map is still authoritative for data traffic,
+   and owners are streaming the affected chunks to their future
+   owners. [target_epoch] is the map epoch [Complete_transfer] will
+   commit. *)
+type pending = { target : int array; target_epoch : int }
+
 type t = {
   host : Host.t;
   rpc : Rpc.t;
-  peers : Net.addr array;
+  members : Net.addr array;
+      (* the fixed provisioned-member set (all Paxos peers); which of
+         them serve data is the dynamic [active] map below *)
   index : int;
   disks : Blockdev.Storage.t array;
   (* (vdisk root, chunk index) -> versions, newest first *)
@@ -36,6 +45,10 @@ type t = {
   free : int list ref array; (* per-disk extent free lists *)
   mutable alloc_rr : int;
   mutable allocated : int;
+  (* --- dynamic ownership map (replicated via the Paxos log) --------- *)
+  mutable active : int array; (* sorted member indexes serving data *)
+  mutable mepoch : int; (* committed map epoch *)
+  mutable pending : pending option;
   (* Byte ranges within chunks whose replica on [peer] is known stale
      (a degraded write happened while it was unreachable); the resync
      daemon pushes them when the peer comes back. Ranges, not whole
@@ -44,8 +57,25 @@ type t = {
      the secondary took solo writes), and a whole-chunk push in
      either direction would overwrite the peer's newer bytes. Pushing
      only what the peer provably missed makes resync converge to the
-     union of the surviving writes. *)
-  degraded : (Net.addr, (int * int, (int * int) list) Hashtbl.t) Hashtbl.t;
+     union of the surviving writes.
+
+     Reconfiguration reuses this machinery wholesale: starting a
+     transfer marks every affected chunk degraded toward its future
+     owner, and writes accepted under the old map while the transfer
+     is pending mark their byte range the same way — so the ordinary
+     resync daemon is also the ownership-handoff stream, and "the
+     transfer has drained" is exactly "the degraded backlog is
+     empty". *)
+  (* Each range carries the time its bytes were written, so a push
+     can tell the receiver how fresh its copy is (see [Repl_req]).
+     The whole entry also carries the generation of its latest mark:
+     a push reads the chunk bytes, then blocks on disk and network,
+     and a write landing in that window re-marks a range the push
+     already read stale bytes for — the generation check stops the
+     push completion from clearing it (see the resync daemon). *)
+  degraded :
+    (Net.addr, (int * int, (int * int * int) list * int) Hashtbl.t) Hashtbl.t;
+  mutable mark_gen : int;
   (* §2.2's NFS-level security measure: when set, data and management
      requests are accepted only from these addresses (the trusted
      Frangipani server machines) and from Petal peers. *)
@@ -56,12 +86,24 @@ type t = {
      stay 0; the lease margin exists to make it so). *)
   mutable stale_rejects : int;
   mutable stale_applied : int;
+  (* Reconfiguration accounting. *)
+  mutable wrong_epoch_rejects : int; (* data requests refused by the map guard *)
+  mutable xfer_pushes : int; (* resync/transfer push RPCs acknowledged *)
+  mutable xfer_bytes : int; (* bytes carried by those pushes *)
+  mutable gc_chunks : int; (* chunks freed because ownership moved away *)
 }
 
 let host t = t.host
 let index t = t.index
 let stale_reject_count t = t.stale_rejects
 let stale_applied_count t = t.stale_applied
+let wrong_epoch_count t = t.wrong_epoch_rejects
+let xfer_push_count t = t.xfer_pushes
+let xfer_bytes_pushed t = t.xfer_bytes
+let gc_chunk_count t = t.gc_chunks
+let current_epoch t = t.mepoch
+let current_active t = Array.to_list t.active
+let pending_transfer t = t.pending <> None
 
 let set_trusted t addrs =
   match addrs with
@@ -69,7 +111,7 @@ let set_trusted t addrs =
   | Some l ->
     let h = Hashtbl.create 8 in
     List.iter (fun a -> Hashtbl.replace h a ()) l;
-    Array.iter (fun a -> Hashtbl.replace h a ()) t.peers;
+    Array.iter (fun a -> Hashtbl.replace h a ()) t.members;
     t.trusted <- Some h
 
 let authorized t src =
@@ -83,32 +125,89 @@ let degraded_set t peer =
     Hashtbl.replace t.degraded peer set;
     set
 
-(* Insert [a, b) into a sorted disjoint interval list, coalescing
-   overlaps and adjacency. *)
-let rec interval_add (a, b) = function
-  | [] -> [ (a, b) ]
-  | (x, y) :: rest when b < x -> (a, b) :: (x, y) :: rest
-  | (x, y) :: rest when y < a -> (x, y) :: interval_add (a, b) rest
-  | (x, y) :: rest -> interval_add (min a x, max b y) rest
+(* Stamped interval lists: sorted disjoint [a, b) segments, each
+   carrying the write time of the bytes it covers. A new mark takes
+   over whatever part of older segments it overlaps. *)
+let seg_add (a, b, s) segs =
+  let rec cut = function
+    | [] -> []
+    | (x, y, st) :: rest when y <= a -> (x, y, st) :: cut rest
+    | (x, y, st) :: rest when b <= x -> (x, y, st) :: rest
+    | (x, y, st) :: rest ->
+      (if x < a then [ (x, a, st) ] else [])
+      @ (if b < y then [ (b, y, st) ] else [])
+      @ cut rest
+  in
+  let rec ins = function
+    | (x, y, st) :: rest when x < a -> (x, y, st) :: ins rest
+    | rest -> (a, b, s) :: rest
+  in
+  ins (cut segs)
 
-(* Remove [a, b) from a sorted disjoint interval list. *)
-let rec interval_sub cur (a, b) =
-  match cur with
+(* Remove [a, b) from a stamped segment list. *)
+let rec seg_sub segs (a, b) =
+  match segs with
   | [] -> []
-  | (x, y) :: rest when y <= a -> (x, y) :: interval_sub rest (a, b)
-  | (x, y) :: rest when b <= x -> (x, y) :: rest
-  | (x, y) :: rest ->
-    (if x < a then [ (x, a) ] else [])
-    @ (if b < y then [ (b, y) ] else [])
-    @ interval_sub rest (a, b)
+  | (x, y, st) :: rest when y <= a -> (x, y, st) :: seg_sub rest (a, b)
+  | (x, y, st) :: rest when b <= x -> (x, y, st) :: rest
+  | (x, y, st) :: rest ->
+    (if x < a then [ (x, a, st) ] else [])
+    @ (if b < y then [ (b, y, st) ] else [])
+    @ seg_sub rest (a, b)
 
-let mark_degraded t ~peer ~root ~chunk ~within ~len =
+(* Remove from [segs] the parts of [a, b) still stamped [<= upto];
+   sub-ranges re-marked with a newer stamp survive. Used when a push
+   completes but the entry was re-marked mid-flight: the pushed bytes
+   are good for every sub-range whose stamp the push saw, and stale
+   for any a concurrent write stamped afterwards. *)
+let seg_clear segs (a, b) ~upto =
+  List.concat_map
+    (fun (x, y, st) ->
+      if y <= a || b <= x || st > upto then [ (x, y, st) ]
+      else
+        (if x < a then [ (x, a, st) ] else [])
+        @ if b < y then [ (b, y, st) ] else [])
+    segs
+
+(* Remove [a, b) from a plain range. *)
+let range_sub (x, y) (a, b) =
+  if y <= a || b <= x then [ (x, y) ]
+  else (if x < a then [ (x, a) ] else []) @ if b < y then [ (b, y) ] else []
+
+let mark_degraded t ~peer ~root ~chunk ~within ~len ~stamp =
   let set = degraded_set t peer in
-  let cur = Option.value ~default:[] (Hashtbl.find_opt set (root, chunk)) in
-  Hashtbl.replace set (root, chunk) (interval_add (within, within + len) cur)
+  let cur =
+    match Hashtbl.find_opt set (root, chunk) with
+    | Some (segs, _) -> segs
+    | None -> []
+  in
+  t.mark_gen <- t.mark_gen + 1;
+  Hashtbl.replace set (root, chunk)
+    (seg_add (within, within + len, stamp) cur, t.mark_gen)
 
 let degraded_count t =
   Hashtbl.fold (fun _ set acc -> acc + Hashtbl.length set) t.degraded 0
+
+(* Debug tracing for sweep forensics; enabled via PETAL_TRACE=1. *)
+let tracing = Sys.getenv_opt "PETAL_TRACE" <> None
+
+let needle = Sys.getenv_opt "PETAL_TRACE_NEEDLE"
+
+let data_has_needle data =
+  match needle with
+  | None -> false
+  | Some n ->
+    let nl = String.length n and dl = Bytes.length data in
+    let rec at i =
+      if i + nl > dl then false
+      else if String.equal (Bytes.sub_string data i nl) n then true
+      else at (i + 1)
+    in
+    at 0
+
+let trace fmt =
+  if tracing then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr (fmt ^^ "\n%!")
 
 let chunk_count t =
   Hashtbl.fold
@@ -118,7 +217,150 @@ let chunk_count t =
 
 let disk_bytes_allocated t = t.allocated
 
+(* --- ownership map ---------------------------------------------------- *)
+
+(* Placement under an active set: the primary of chunk [c] of the
+   disk rooted at [r] sits at ring slot [(r + c) mod n] of the sorted
+   active array, the replica at the next slot. Every server and every
+   client computes this from the same Paxos-agreed map, so routing is
+   deterministic per map epoch. *)
+let owners_under active ~nrep ~root ~chunk =
+  let n = Array.length active in
+  if n = 0 then []
+  else begin
+    let s = (root + chunk) mod n in
+    let p = active.(s) in
+    if nrep > 1 && n > 1 then [ p; active.((s + 1) mod n) ] else [ p ]
+  end
+
+let nrep_of_root t root =
+  Hashtbl.fold
+    (fun _ (v : vinfo) acc -> if v.root = root then max acc v.nrep else acc)
+    t.vdisks 1
+
+let is_owner t ~root ~chunk ~nrep =
+  List.mem t.index (owners_under t.active ~nrep ~root ~chunk)
+
+(* The peer this server forwards replicated writes to: the other
+   owner of the chunk under the committed map. *)
+let replica_of t ~root ~chunk ~nrep =
+  match owners_under t.active ~nrep ~root ~chunk with
+  | [ a; b ] -> Some (if a = t.index then b else a)
+  | _ -> None
+
+(* While a transfer is pending, a mutation accepted under the old map
+   must also reach the chunk's future owners: mark the byte range
+   degraded toward every new owner that is not already an old owner,
+   so the resync stream carries the delta. *)
+let mark_transfer_delta t ~root ~chunk ~within ~len ~stamp =
+  match t.pending with
+  | None -> ()
+  | Some p ->
+    let nrep = nrep_of_root t root in
+    let old_owners = owners_under t.active ~nrep ~root ~chunk in
+    if List.mem t.index old_owners then
+      List.iter
+        (fun o ->
+          if (not (List.mem o old_owners)) && o <> t.index then
+            mark_degraded t ~peer:t.members.(o) ~root ~chunk ~within ~len ~stamp)
+        (owners_under p.target ~nrep ~root ~chunk)
+
 (* --- virtual-disk table maintenance (Paxos apply) ------------------- *)
+
+let sorted_add active idx =
+  Array.of_list (List.sort_uniq compare (idx :: Array.to_list active))
+
+let sorted_remove active idx =
+  Array.of_list (List.filter (fun i -> i <> idx) (Array.to_list active))
+
+let any_frozen t =
+  Hashtbl.fold (fun _ (v : vinfo) acc -> acc || v.frozen <> None) t.vdisks false
+
+let free_extent t (d, off) =
+  t.free.(d) := off :: !(t.free.(d));
+  t.allocated <- t.allocated - chunk_bytes
+
+(* A member outside the active set serves no traffic, so every chunk
+   it still holds is a stale leftover from a previous tenure —
+   possibly decommitted cluster-wide since it left. Purge them when a
+   transfer begins, before any push can arrive: once the new map
+   makes this member an owner again, a leftover the GC had not freed
+   yet would otherwise be served as live data. Skips chunks its own
+   degraded sets still reference (conservative; an inactive member
+   should have none). *)
+let purge_stale_store t =
+  let referenced = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ set -> Hashtbl.iter (fun k _ -> Hashtbl.replace referenced k ()) set)
+    t.degraded;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.chunks [] in
+  List.iter
+    (fun key ->
+      if not (Hashtbl.mem referenced key) then begin
+        trace "t=%d PURGE %s root=%d chunk=%d" (Sim.now ()) (Host.name t.host)
+          (fst key) (snd key);
+        (match Hashtbl.find_opt t.chunks key with
+        | None -> ()
+        | Some vl ->
+          List.iter
+            (fun v -> match v.loc with Some ext -> free_extent t ext | None -> ())
+            !vl);
+        Hashtbl.remove t.chunks key;
+        t.gc_chunks <- t.gc_chunks + 1
+      end)
+    (List.sort compare keys)
+
+(* Enumerate the transfer obligations this server holds: every stored
+   chunk it owns under the old map is marked (whole) degraded toward
+   each of its future owners. Both old owners enumerate — duplicate
+   pushes are idempotent and the redundancy keeps the transfer moving
+   when one source crashes mid-stream. Pure table marking (no I/O),
+   so it runs inline in the Paxos apply and a crash cannot leave the
+   obligation half-recorded and forgotten. *)
+let begin_transfer t (p : pending) =
+  if not (Array.exists (( = ) t.index) t.active) then purge_stale_store t;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.chunks [] in
+  List.iter
+    (fun (root, chunk) ->
+      let nrep = nrep_of_root t root in
+      let old_owners = owners_under t.active ~nrep ~root ~chunk in
+      if List.mem t.index old_owners then
+        List.iter
+          (fun o ->
+            if (not (List.mem o old_owners)) && o <> t.index then
+              (* Stamp 0: the write times of a stored chunk's bytes
+                 are unknown, so the base copy must claim the lowest
+                 freshness — overstating would let it clobber a newer
+                 solo write at the receiver. Any real delta beats it;
+                 a stale base at the receiver is later corrected by
+                 the repair chain re-marking with true stamps. *)
+              mark_degraded t ~peer:t.members.(o) ~root ~chunk ~within:0
+                ~len:chunk_bytes ~stamp:0)
+          (owners_under p.target ~nrep ~root ~chunk))
+    (List.sort compare keys)
+
+(* After cutover, degraded entries toward peers that no longer own
+   their chunk are dead weight (the data migrated through the live
+   owners): prune them so the backlog metric means something. *)
+let prune_degraded t =
+  Hashtbl.iter
+    (fun peer set ->
+      let stale =
+        Hashtbl.fold
+          (fun (root, chunk) _ acc ->
+            let nrep = nrep_of_root t root in
+            let pi =
+              let rec find i = if i >= Array.length t.members then -1
+                else if t.members.(i) = peer then i else find (i + 1)
+              in
+              find 0
+            in
+            if List.mem pi (owners_under t.active ~nrep ~root ~chunk) then acc
+            else (root, chunk) :: acc)
+          set []
+      in
+      List.iter (Hashtbl.remove set) stale)
+    t.degraded
 
 let apply t slot cmd =
   match cmd with
@@ -137,6 +379,59 @@ let apply t slot cmd =
         { root = v.root; epoch = v.epoch; frozen = Some v.epoch; nrep = v.nrep };
       v.epoch <- v.epoch + 1;
       Hashtbl.replace t.slot_ids slot id)
+  | Add_server { idx } ->
+    let target = sorted_add t.active idx in
+    let ok =
+      if Array.exists (( = ) idx) t.active && t.pending = None then true
+        (* already active: the goal state — a duplicate proposal after
+           a proposer crash must read as success *)
+      else
+        match t.pending with
+        | Some p -> p.target = target (* same reconfig already pending *)
+        | None ->
+          if
+            idx >= 0
+            && idx < Array.length t.members
+            && not (any_frozen t)
+            (* snapshots pin old chunk versions the range-based
+               transfer stream does not carry; reconfiguration is
+               refused while any exist (see DESIGN.md) *)
+          then begin
+            let p = { target; target_epoch = t.mepoch + 1 } in
+            t.pending <- Some p;
+            begin_transfer t p;
+            true
+          end
+          else false
+    in
+    Hashtbl.replace t.slot_ids slot (if ok then 0 else -1)
+  | Remove_server { idx } ->
+    let target = sorted_remove t.active idx in
+    let ok =
+      if (not (Array.exists (( = ) idx) t.active)) && t.pending = None then true
+      else
+        match t.pending with
+        | Some p -> p.target = target
+        | None ->
+          if Array.length target >= 2 && not (any_frozen t) then begin
+            let p = { target; target_epoch = t.mepoch + 1 } in
+            t.pending <- Some p;
+            begin_transfer t p;
+            true
+          end
+          else false
+    in
+    Hashtbl.replace t.slot_ids slot (if ok then 0 else -1)
+  | Complete_transfer { target } ->
+    (match t.pending with
+    | Some p when p.target_epoch = target ->
+      trace "t=%d CUTOVER %s epoch=%d" (Sim.now ()) (Host.name t.host) target;
+      t.active <- p.target;
+      t.mepoch <- target;
+      t.pending <- None;
+      prune_degraded t
+    | Some _ | None -> () (* duplicate or late proposal: no-op *));
+    Hashtbl.replace t.slot_ids slot 0
 
 (* --- physical extent allocation -------------------------------------- *)
 
@@ -154,10 +449,6 @@ let allocate t =
       failwith (Host.name t.host ^ ": petal server out of disk space");
     t.next_off.(d) <- off + chunk_bytes;
     (d, off)
-
-let free_extent t (d, off) =
-  t.free.(d) := off :: !(t.free.(d));
-  t.allocated <- t.allocated - chunk_bytes
 
 (* --- chunk I/O -------------------------------------------------------- *)
 
@@ -223,6 +514,9 @@ exception Expired_stamp
 let write_chunk t ~root ~chunk ~within ~data ~epoch ~expires =
   Faultpoint.hit "petal.chunk_write";
   with_chunk_lock t (root, chunk) @@ fun () ->
+  trace "t=%d W %s root=%d chunk=%d w=%d len=%d hit=%b" (Sim.now ())
+    (Host.name t.host) root chunk within (Bytes.length data)
+    (data_has_needle data);
   (* Re-check the stamp once the chunk lock is held: queueing behind
      another mutation takes (simulated) time, and a stamp that lapsed
      in the queue must not reach the disk either. *)
@@ -276,6 +570,7 @@ let write_chunk t ~root ~chunk ~within ~data ~epoch ~expires =
 let decommit_chunk t ~root ~chunk ~epoch ~expires =
   Faultpoint.hit "petal.chunk_decommit";
   with_chunk_lock t (root, chunk) @@ fun () ->
+  trace "t=%d D %s root=%d chunk=%d" (Sim.now ()) (Host.name t.host) root chunk;
   if expired expires then begin
     t.stale_rejects <- t.stale_rejects + 1;
     raise Expired_stamp
@@ -296,72 +591,250 @@ let decommit_chunk t ~root ~chunk ~epoch ~expires =
 
 (* --- replication ------------------------------------------------------ *)
 
-let successor t = t.peers.((t.index + 1) mod Array.length t.peers)
-
-let forward_write t ~root ~chunk ~within ~data ~epoch ~expires =
-  match
-    Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500)
-      ~size:(write_req_size (Bytes.length data))
-      (Repl_req { root; chunk; within; data; epoch; expires })
-  with
-  | Ok Write_ok -> ()
-  | Ok _ | Error `Timeout ->
-    (* Degraded: the replica is unreachable; the write is single-copy
-       until the resync daemon repairs it. *)
-    Logs.debug (fun m -> m "%s: replica write degraded" (Host.name t.host));
-    mark_degraded t ~peer:(successor t) ~root ~chunk ~within
-      ~len:(Bytes.length data)
+let forward_write t ~root ~chunk ~within ~data ~epoch ~expires ~stamp =
+  match replica_of t ~root ~chunk ~nrep:(nrep_of_root t root) with
+  | None -> ()
+  | Some ri -> (
+    let peer = t.members.(ri) in
+    match
+      Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500)
+        ~size:(write_req_size (Bytes.length data))
+        (Repl_req { root; chunk; within; data; epoch; expires; stamp })
+    with
+    | Ok Write_ok -> ()
+    | Ok _ | Error `Timeout ->
+      (* Degraded: the replica is unreachable; the write is single-copy
+         until the resync daemon repairs it. Marked with the write's
+         own stamp, not the (later) failure time: the repair push must
+         not claim to be fresher than the bytes it carries. *)
+      Logs.debug (fun m -> m "%s: replica write degraded" (Host.name t.host));
+      mark_degraded t ~peer ~root ~chunk ~within ~len:(Bytes.length data) ~stamp)
 
 (* Push the byte ranges of a degraded chunk the lagging replica
-   missed; returns true when every range is acknowledged. *)
+   missed; returns true when every range is acknowledged. A chunk
+   that vanished or whose head is a tombstone was decommitted since
+   the ranges were marked: propagate the decommit instead, so the
+   peer does not keep serving (or later resurface) the freed bytes. *)
 let push_chunk t ~peer ~root ~chunk ~ranges =
+  Faultpoint.hit "petal.resync_push";
+  let push_decommit () =
+    match
+      Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500) ~size:small
+        (Decommit_req { root; chunk; forward = false; mepoch = -1; expires = None })
+    with
+    | Ok Decommit_ok ->
+      t.xfer_pushes <- t.xfer_pushes + 1;
+      true
+    | Ok _ | Error `Timeout -> false
+  in
   match Hashtbl.find_opt t.chunks (root, chunk) with
-  | None -> true (* vanished (decommitted): nothing to repair *)
+  | None ->
+    trace "t=%d PUSHDECOMMIT %s->%d root=%d chunk=%d (absent)" (Sim.now ())
+      (Host.name t.host) peer root chunk;
+    push_decommit ()
   | Some vl -> (
     match !vl with
     | { epoch; loc = Some (d, off) } :: _ ->
       List.for_all
-        (fun (a, b) ->
+        (fun (a, b, s) ->
           let data = t.disks.(d).Blockdev.Storage.read ~off:(off + a) ~len:(b - a) in
+          trace "t=%d P %s->%d root=%d chunk=%d [%d,%d) s=%d hit=%b" (Sim.now ())
+            (Host.name t.host) peer root chunk a b s (data_has_needle data);
           match
             Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500)
               ~size:(write_req_size (b - a))
-              (Repl_req { root; chunk; within = a; data; epoch; expires = None })
+              (Repl_req { root; chunk; within = a; data; epoch; expires = None; stamp = s })
           with
-          | Ok Write_ok -> true
+          | Ok Write_ok ->
+            t.xfer_pushes <- t.xfer_pushes + 1;
+            t.xfer_bytes <- t.xfer_bytes + (b - a);
+            true
           | Ok _ | Error `Timeout -> false)
         ranges
-    | { loc = None; _ } :: _ | [] -> true)
+    | { loc = None; _ } :: _ ->
+      trace "t=%d PUSHDECOMMIT %s->%d root=%d chunk=%d (tombstone)" (Sim.now ())
+        (Host.name t.host) peer root chunk;
+      push_decommit ()
+    | [] ->
+      trace "t=%d PUSHDECOMMIT %s->%d root=%d chunk=%d (empty)" (Sim.now ())
+        (Host.name t.host) peer root chunk;
+      push_decommit ())
+
+(* Free the extents of chunks this server no longer owns under the
+   committed map (the data migrated through the handoff stream), so a
+   decommissioned or demoted server ends up holding nothing it could
+   serve stale. Skipped while a transfer is pending (during one, the
+   old map is authoritative and we may BE a future owner receiving
+   data) and for chunks with unsent degraded ranges (late writes
+   accepted just before cutover still have to reach the new owner). *)
+let gc_nonowned t =
+  if t.pending = None then begin
+    let referenced = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ set -> Hashtbl.iter (fun k _ -> Hashtbl.replace referenced k ()) set)
+      t.degraded;
+    let victims =
+      Hashtbl.fold
+        (fun (root, chunk) _ acc ->
+          if
+            (not (Hashtbl.mem referenced (root, chunk)))
+            && not (is_owner t ~root ~chunk ~nrep:(nrep_of_root t root))
+          then (root, chunk) :: acc
+          else acc)
+        t.chunks []
+    in
+    List.iter
+      (fun key ->
+        with_chunk_lock t key @@ fun () ->
+        (* Re-check under the lock: a reconfig may have started (or
+           ownership returned) while we were freeing earlier chunks. *)
+        let root, chunk = key in
+        if t.pending = None && not (is_owner t ~root ~chunk ~nrep:(nrep_of_root t root))
+        then
+          match Hashtbl.find_opt t.chunks key with
+          | None -> ()
+          | Some vl ->
+            trace "t=%d GC %s root=%d chunk=%d" (Sim.now ()) (Host.name t.host)
+              root chunk;
+            List.iter
+              (fun v -> match v.loc with Some ext -> free_extent t ext | None -> ())
+              !vl;
+            Hashtbl.remove t.chunks key;
+            t.gc_chunks <- t.gc_chunks + 1)
+      (List.sort compare victims)
+  end
+
+let nonowned_chunk_count t =
+  Hashtbl.fold
+    (fun (root, chunk) _ acc ->
+      if is_owner t ~root ~chunk ~nrep:(nrep_of_root t root) then acc else acc + 1)
+    t.chunks 0
+
+(* A backlog entry can outlive its purpose: a failed forward recorded
+   toward a member a later reconfiguration removed, or a handoff delta
+   toward a chunk whose owners have since moved again. Such a peer now
+   rejects the push forever (it fails [peer_push_ok] on the receiving
+   side), which would wedge the drain — and with it any pending
+   cutover. Drop entries whose peer is not an owner of the chunk under
+   either the committed map or the pending target. *)
+let gc_stale_backlog t =
+  Hashtbl.iter
+    (fun peer set ->
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) set [] in
+      List.iter
+        (fun (root, chunk) ->
+          let nrep = nrep_of_root t root in
+          let has owners = List.exists (fun o -> t.members.(o) = peer) owners in
+          let wanted =
+            has (owners_under t.active ~nrep ~root ~chunk)
+            ||
+            match t.pending with
+            | Some p -> has (owners_under p.target ~nrep ~root ~chunk)
+            | None -> false
+          in
+          if not wanted then Hashtbl.remove set (root, chunk))
+        (List.sort compare keys))
+    t.degraded
 
 let resync_daemon t () =
   let rec loop () =
     Sim.sleep (Sim.sec 2.0);
-    if Host.is_alive t.host && degraded_count t > 0 then
-      Hashtbl.iter
-        (fun peer set ->
-          let chunks = Hashtbl.fold (fun k v acc -> (k, v) :: acc) set [] in
-          List.iteri
-            (fun i ((root, chunk), ranges) ->
-              if i < 16 then begin
-                match push_chunk t ~peer ~root ~chunk ~ranges with
-                | true -> (
-                  (* New failed forwards may have extended the entry
-                     while we were pushing: clear only what we sent. *)
-                  match Hashtbl.find_opt set (root, chunk) with
-                  | None -> ()
-                  | Some cur -> (
-                    match
-                      List.fold_left
-                        (fun acc r -> interval_sub acc r)
-                        cur ranges
-                    with
-                    | [] -> Hashtbl.remove set (root, chunk)
-                    | left -> Hashtbl.replace set (root, chunk) left))
-                | false -> ()
-                | exception Host.Crashed _ -> ()
-              end)
-            chunks)
-        t.degraded;
+    if Host.is_alive t.host then begin
+      gc_stale_backlog t;
+      if degraded_count t > 0 then begin
+        (* The per-tick push budget rises while a transfer is pending:
+           an ownership handoff marks every affected chunk at once and
+           should drain in seconds of simulated time, not minutes. *)
+        let budget = if t.pending = None then 16 else 64 in
+        (* Snapshot the peer set: pushes block on the network, and a
+           concurrent failed forward may add a brand-new peer entry
+           mid-iteration. *)
+        let peers = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.degraded [] in
+        List.iter
+          (fun (peer, set) ->
+            let chunks = Hashtbl.fold (fun k v acc -> (k, v) :: acc) set [] in
+            List.iteri
+              (fun i ((root, chunk), (ranges, gen0)) ->
+                if i < budget then begin
+                  match push_chunk t ~peer ~root ~chunk ~ranges with
+                  | true -> (
+                    (* A write may have landed between the push
+                       reading the bytes and the ack, re-marking part
+                       of what we sent — the bytes we sent for that
+                       part were already stale. If the generation is
+                       untouched nothing moved: clear the pushed
+                       ranges outright. Otherwise clear only the
+                       sub-ranges whose stamp is still the one we
+                       pushed; anything stamped newer stays for the
+                       next tick. *)
+                    match Hashtbl.find_opt set (root, chunk) with
+                    | None -> ()
+                    | Some (cur, gen) -> (
+                      match
+                        List.fold_left
+                          (fun acc (a, b, s) ->
+                            if gen = gen0 then seg_sub acc (a, b)
+                            else seg_clear acc (a, b) ~upto:s)
+                          cur ranges
+                      with
+                      | [] -> Hashtbl.remove set (root, chunk)
+                      | left -> Hashtbl.replace set (root, chunk) (left, gen)))
+                  | false -> ()
+                  | exception Host.Crashed _ -> ()
+                end)
+              chunks)
+          peers
+      end;
+      gc_nonowned t
+    end;
+    loop ()
+  in
+  loop ()
+
+(* Cutover daemon: while this server knows of a pending transfer, it
+   polls every involved member's drain status; once all of them
+   report the same map epoch, the same pending transfer and an empty
+   push backlog, it proposes [Complete_transfer]. Every server polls
+   independently — whoever sees global drain first wins the Paxos
+   race and the others' proposals apply as no-ops — so the cutover
+   needs no distinguished coordinator and survives any proposer
+   dying mid-handoff. An unreachable member simply delays the
+   cutover until the nemesis heals or the host restarts; committing
+   without its report could strand chunks it alone had marked. *)
+let cutover_daemon t () =
+  let rec loop () =
+    Sim.sleep (Sim.ms 900);
+    (match t.pending with
+    | Some p when Host.is_alive t.host -> (
+      let involved =
+        List.sort_uniq compare (Array.to_list t.active @ Array.to_list p.target)
+      in
+      let probe i =
+        if i = t.index then
+          t.mepoch = p.target_epoch - 1 && t.pending <> None && degraded_count t = 0
+        else
+          match
+            Rpc.call t.rpc ~dst:t.members.(i) ~timeout:(Sim.ms 400) ~size:small
+              Xfer_status_req
+          with
+          | Ok (Xfer_status { mepoch; pending; backlog }) ->
+            mepoch = p.target_epoch - 1 && pending && backlog = 0
+          | Ok _ | Error `Timeout -> false
+      in
+      match List.for_all probe involved with
+      | true ->
+        if t.pending <> None then begin
+          (* The faultpoint may crash this very host; the propose then
+             raises from this daemon and must not abort the run. *)
+          try
+            Faultpoint.hit "petal.cutover_propose";
+            ignore
+              (P.propose t.paxos (Complete_transfer { target = p.target_epoch }))
+          with Host.Crashed _ -> ()
+        end
+      | false -> ()
+      | exception Host.Crashed _ -> ())
+    | _ -> ());
     loop ()
   in
   loop ()
@@ -377,23 +850,56 @@ let reject_stale t =
   t.stale_rejects <- t.stale_rejects + 1;
   Some (Perr "expired lease timestamp", small)
 
+(* The map guard on every client data request: the client's routing
+   epoch must match the committed map AND this server must actually
+   own the chunk under it (the second check catches clients whose map
+   is somehow current but whose routing is not). While a transfer is
+   pending the old map stays authoritative, so traffic is undisturbed
+   until the cutover instant. *)
+let reject_wrong_epoch t =
+  t.wrong_epoch_rejects <- t.wrong_epoch_rejects + 1;
+  Some (Wrong_epoch { mepoch = t.mepoch }, small)
+
+let map_ok t ~mepoch ~root ~chunk =
+  mepoch = t.mepoch && is_owner t ~root ~chunk ~nrep:(nrep_of_root t root)
+
+(* Peer pushes are accepted only by a member that owns the chunk
+   under the committed map or will own it under the pending transfer.
+   The reject matters for a lagging joiner that has not yet applied
+   [Add_server]: its begin-transfer purge must run before it stores
+   anything, so a push arriving early is refused and the source
+   (which treats any non-ok reply as a failed push) simply retries a
+   tick later. It also stops a push long-delayed in the network from
+   resurrecting data on a member the map has since moved past. *)
+let peer_push_ok t ~root ~chunk =
+  let nrep = nrep_of_root t root in
+  is_owner t ~root ~chunk ~nrep
+  ||
+  match t.pending with
+  | Some p -> List.mem t.index (owners_under p.target ~nrep ~root ~chunk)
+  | None -> false
+
 let handler t ~src body =
   match body with
   | (Read_req _ | Write_req _ | Repl_req _ | Decommit_req _ | Mgmt_req _)
     when not (authorized t src) ->
     Some (Perr "unauthorized", small)
-  | Read_req { root; chunk; within; len; sel } -> (
+  | Read_req { root; chunk; mepoch; _ } when not (map_ok t ~mepoch ~root ~chunk) ->
+    reject_wrong_epoch t
+  | Read_req { root; chunk; within; len; sel; mepoch = _ } -> (
     match read_chunk t ~root ~chunk ~within ~len ~sel with
     | data -> Some (Read_ok data, read_ok_size len)
     | exception Damaged ->
       (* Ask the replica for a clean whole-chunk copy, repair our
          medium, and serve the read. *)
       let v = vdisk t root in
-      if v.nrep > 1 then begin
+      match replica_of t ~root ~chunk ~nrep:v.nrep with
+      | Some ri -> (
         match
-          Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500)
+          Rpc.call t.rpc ~dst:t.members.(ri) ~timeout:(Sim.ms 500)
             ~size:read_req_size
-            (Read_req { root; chunk; within = 0; len = chunk_bytes; sel })
+            (Read_req { root; chunk; within = 0; len = chunk_bytes; sel;
+                        mepoch = t.mepoch })
         with
         | Ok (Read_ok clean) ->
           Logs.info (fun m ->
@@ -402,76 +908,184 @@ let handler t ~src body =
           repair_chunk t ~root ~chunk ~data:clean;
           Some (Read_ok (Bytes.sub clean within len), read_ok_size len)
         | Ok _ | Error `Timeout -> Some (Perr "media error", small)
-      end
-      else Some (Perr "media error", small))
+      )
+      | None -> Some (Perr "media error", small))
+  | Write_req { root; chunk; mepoch; _ } when not (map_ok t ~mepoch ~root ~chunk) ->
+    reject_wrong_epoch t
   | Write_req { expires; _ } when expired expires -> reject_stale t
-  | Write_req { root; chunk; within; data; solo; expires } -> (
+  | Write_req { root; chunk; within; data; solo; expires; mepoch = _ } -> (
     let v = vdisk t root in
     let epoch = v.epoch in
+    (* The write's freshness stamp, captured before any mutation or
+       blocking: every degraded mark and replica forward this write
+       spawns must carry the time the bytes were written, not the
+       (possibly much later) time a forward failed. *)
+    let wstamp = Sim.now () in
+    (* Transfer deltas are marked both before and after the mutation:
+       a transfer that begins while this write is in flight would
+       otherwise miss it on both sides — [begin_transfer] enumerates
+       the chunk table before the write inserts into it, and a single
+       pre-write mark still sees no pending transfer. *)
+    mark_transfer_delta t ~root ~chunk ~within ~len:(Bytes.length data)
+      ~stamp:wstamp;
     (if solo && v.nrep > 1 then begin
        (* Degraded client write: we are the replica; the primary
           missed this update and must be repaired when it returns. *)
-       let primary = t.peers.((v.root + chunk) mod Array.length t.peers) in
-       if primary <> Rpc.addr t.rpc then
-         mark_degraded t ~peer:primary ~root ~chunk ~within
-           ~len:(Bytes.length data)
+       match replica_of t ~root ~chunk ~nrep:v.nrep with
+       | Some pi when t.members.(pi) <> Rpc.addr t.rpc ->
+         mark_degraded t ~peer:t.members.(pi) ~root ~chunk ~within
+           ~len:(Bytes.length data) ~stamp:wstamp
+       | Some _ | None -> ()
      end);
     match
       if (not solo) && v.nrep > 1 then begin
         (* Apply locally and forward to the replica in parallel. *)
         let fwd = Sim.Ivar.create () in
         Sim.spawn (fun () ->
-            forward_write t ~root ~chunk ~within ~data ~epoch ~expires;
+            (* The forwarder runs as its own scheduled process: if the
+               host dies mid-write (faultpoint or nemesis) the raise
+               would escape the scheduler, so contain it here. Fill the
+               ivar regardless — the handler's own raise, not ours,
+               reports the crash. *)
+            (try
+               forward_write t ~root ~chunk ~within ~data ~epoch ~expires
+                 ~stamp:wstamp
+             with Host.Crashed _ -> ());
             Sim.Ivar.fill fwd ());
         write_chunk t ~root ~chunk ~within ~data ~epoch ~expires;
         Sim.Ivar.read fwd
       end
       else write_chunk t ~root ~chunk ~within ~data ~epoch ~expires
     with
-    | () -> Some (Write_ok, small)
+    | () ->
+      mark_transfer_delta t ~root ~chunk ~within ~len:(Bytes.length data)
+        ~stamp:wstamp;
+      Some (Write_ok, small)
     | exception Expired_stamp -> Some (Perr "expired lease timestamp", small))
+  | Repl_req { root; chunk; _ } when not (peer_push_ok t ~root ~chunk) ->
+    reject_wrong_epoch t
   | Repl_req { expires; _ } when expired expires -> reject_stale t
-  | Repl_req { root; chunk; within; data; epoch; expires } -> (
-    match write_chunk t ~root ~chunk ~within ~data ~epoch ~expires with
+  | Repl_req { root; chunk; within; data; epoch; expires; stamp } -> (
+    (* Peer traffic (forwarded writes, resync and handoff pushes)
+       bypasses the epoch equality check: during a transfer it
+       legitimately targets future owners the committed map does not
+       list yet — but only current-or-future owners (peer_push_ok).
+       Deltas are marked before and after, as on the client path.
+
+       Freshness guard: where our OWN backlog toward the sender
+       records a write at least as new as the pushed bytes, our copy
+       supersedes theirs — both sides accepted solo writes to the
+       range during disjoint failure windows, and ours came later.
+       Skip those sub-ranges (the sender gets our bytes when the
+       counter-entry drains) but still ack, so the sender clears its
+       now-obsolete entry instead of re-pushing stale data forever. *)
+    let skips =
+      match Hashtbl.find_opt t.degraded src with
+      | None -> []
+      | Some set -> (
+        match Hashtbl.find_opt set (root, chunk) with
+        | None -> []
+        | Some (segs, _) ->
+          let lo = within and hi = within + Bytes.length data in
+          List.filter_map
+            (fun (a, b, s) ->
+              if s >= stamp && a < hi && lo < b then
+                Some (max a lo, min b hi)
+              else None)
+            segs)
+    in
+    let applies =
+      List.fold_left
+        (fun acc skip -> List.concat_map (fun r -> range_sub r skip) acc)
+        [ (within, within + Bytes.length data) ]
+        skips
+    in
+    match
+      List.iter
+        (fun (a, b) ->
+          mark_transfer_delta t ~root ~chunk ~within:a ~len:(b - a) ~stamp;
+          write_chunk t ~root ~chunk ~within:a
+            ~data:(Bytes.sub data (a - within) (b - a))
+            ~epoch ~expires;
+          mark_transfer_delta t ~root ~chunk ~within:a ~len:(b - a) ~stamp)
+        applies
+    with
     | () -> Some (Write_ok, small)
     | exception Expired_stamp -> Some (Perr "expired lease timestamp", small))
+  | Decommit_req { root; chunk; mepoch; _ }
+    when mepoch >= 0 && not (map_ok t ~mepoch ~root ~chunk) ->
+    reject_wrong_epoch t
   | Decommit_req { expires; _ } when expired expires -> reject_stale t
-  | Decommit_req { root; chunk; forward; expires } -> (
+  | Decommit_req { root; chunk; forward; expires; mepoch = _ } -> (
     let v = vdisk t root in
+    let dstamp = Sim.now () in
+    mark_transfer_delta t ~root ~chunk ~within:0 ~len:chunk_bytes ~stamp:dstamp;
     match decommit_chunk t ~root ~chunk ~epoch:v.epoch ~expires with
     | () ->
-      if forward && v.nrep > 1 then
-        ignore
-          (Rpc.call t.rpc ~dst:(successor t) ~timeout:(Sim.ms 500) ~size:small
-             (Decommit_req { root; chunk; forward = false; expires }));
+      (if forward && v.nrep > 1 then
+         match replica_of t ~root ~chunk ~nrep:v.nrep with
+         | None -> ()
+         | Some ri -> (
+           let peer = t.members.(ri) in
+           match
+             Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500) ~size:small
+               (Decommit_req
+                  { root; chunk; forward = false; mepoch = -1; expires })
+           with
+           | Ok Decommit_ok -> ()
+           | Ok _ | Error `Timeout ->
+             (* The replica missed the decommit: mark the chunk so the
+                resync daemon propagates it (push_chunk turns a
+                tombstoned or vanished chunk into a decommit push) —
+                otherwise the replicas diverge for good and a later
+                failover serves the freed bytes back. *)
+             mark_degraded t ~peer ~root ~chunk ~within:0 ~len:chunk_bytes
+               ~stamp:dstamp));
+      mark_transfer_delta t ~root ~chunk ~within:0 ~len:chunk_bytes ~stamp:dstamp;
       Some (Decommit_ok, small)
     | exception Expired_stamp -> Some (Perr "expired lease timestamp", small))
   | Mgmt_req cmd ->
+    Faultpoint.hit "petal.mgmt_propose";
     let slot = P.propose t.paxos cmd in
     while P.applied_up_to t.paxos <= slot do
       Sim.sleep (Sim.ms 1)
     done;
     let id = Hashtbl.find t.slot_ids slot in
-    if id < 0 then Some (Perr "unknown source vdisk", small)
+    if id < 0 then Some (Perr "rejected by apply", small)
     else Some (Mgmt_ok id, small)
   | Vdisk_info_req id -> (
     match Hashtbl.find_opt t.vdisks id with
     | Some v -> Some (Vdisk_info { root = v.root; nrep = v.nrep; frozen = v.frozen }, small)
     | None -> Some (Perr "unknown vdisk", small))
+  | Map_req ->
+    Some (Map { mepoch = t.mepoch; active = Array.to_list t.active }, small)
+  | Xfer_status_req ->
+    Some
+      ( Xfer_status
+          { mepoch = t.mepoch;
+            pending = t.pending <> None;
+            backlog = degraded_count t },
+        small )
   | _ -> None
 
-let create ~host ~rpc ~peers ~index ~disks ~stable =
+let create ~host ~rpc ~peers ~index ~disks ~stable ?active () =
+  let active =
+    match active with
+    | Some l -> Array.of_list (List.sort_uniq compare l)
+    | None -> Array.init (Array.length peers) Fun.id
+  in
   let rec t =
     lazy
       {
         host;
         rpc;
-        peers;
+        members = peers;
         index;
         disks;
         chunks = Hashtbl.create 4096;
         wlocks = Hashtbl.create 4096;
-      degraded = Hashtbl.create 4;
+        degraded = Hashtbl.create 4;
+        mark_gen = 0;
         trusted = None;
         vdisks = Hashtbl.create 8;
         next_id = 1;
@@ -484,11 +1098,19 @@ let create ~host ~rpc ~peers ~index ~disks ~stable =
         free = Array.map (fun _ -> ref []) disks;
         alloc_rr = 0;
         allocated = 0;
+        active;
+        mepoch = 0;
+        pending = None;
         stale_rejects = 0;
         stale_applied = 0;
+        wrong_epoch_rejects = 0;
+        xfer_pushes = 0;
+        xfer_bytes = 0;
+        gc_chunks = 0;
       }
   in
   let t = Lazy.force t in
   Rpc.add_handler rpc (handler t);
   Sim.spawn ~name:(Host.name host ^ ".resync") (resync_daemon t);
+  Sim.spawn ~name:(Host.name host ^ ".cutover") (cutover_daemon t);
   t

@@ -3,16 +3,29 @@
     Each server owns a set of local disks, stores 64 KB chunk
     extents on them, answers chunk read/write/decommit requests, and
     participates in the Paxos group that maintains the virtual-disk
-    table (creation, snapshots).
+    table (creation, snapshots) and — since PR 5 — the cluster's
+    chunk-ownership map.
 
-    Chunk placement: the primary for chunk [c] of the virtual disk
-    rooted at [r] is server [(r + c) mod n]; the replica (for 2-way
-    replicated disks) is the successor. Writes arrive at the primary,
-    which applies them locally and forwards them to the replica
-    before acknowledging. Snapshots are copy-on-write: each stored
-    extent is tagged with the epoch it was written in, and a snapshot
-    bumps the source disk's epoch so later writes go to fresh
-    extents. *)
+    Chunk placement: servers are created over a fixed
+    provisioned-member array, of which a Paxos-agreed {e active}
+    subset serves data. The primary for chunk [c] of the virtual disk
+    rooted at [r] is the active member at ring slot [(r + c) mod n]
+    (n = active count); the replica (for 2-way replicated disks) the
+    next slot. Writes arrive at the primary, which applies them
+    locally and forwards them to the replica before acknowledging.
+    Snapshots are copy-on-write: each stored extent is tagged with
+    the epoch it was written in, and a snapshot bumps the source
+    disk's epoch so later writes go to fresh extents.
+
+    Reconfiguration ([Add_server]/[Remove_server] through the Paxos
+    log) is a two-phase ownership handoff: the old map stays
+    authoritative while current owners stream affected chunks to
+    their future owners through the resync machinery, and
+    [Complete_transfer] — proposed by whichever server first observes
+    every involved member drained — atomically bumps the map epoch.
+    Data requests carry the client's map epoch and are rejected with
+    [Wrong_epoch] when it is stale. See DESIGN.md, "Dynamic
+    reconfiguration". *)
 
 type t
 
@@ -23,10 +36,15 @@ val create :
   index:int ->
   disks:Blockdev.Storage.t array ->
   stable:Paxos_group.stable ->
+  ?active:int list ->
+  unit ->
   t
 (** Start a Petal server: registers RPC handlers and joins the Paxos
-    group. [peers] are all Petal servers' addresses in ring order;
-    [index] is this server's position. *)
+    group. [peers] is the fixed provisioned-member array (all Paxos
+    participants, standbys included) in ring order; [index] is this
+    server's position; [active] the member indexes initially serving
+    data (default: all). Every server of a cluster must be created
+    with the same [peers] and [active]. *)
 
 val host : t -> Cluster.Host.t
 val index : t -> int
@@ -43,8 +61,26 @@ val set_trusted : t -> Cluster.Net.addr list option -> unit
     the Petal peers. [None] (the default) accepts everyone. *)
 
 val degraded_count : t -> int
-(** Chunks this server knows to be stale on some replica, pending
-    resync. Zero once anti-entropy has caught up after a failure. *)
+(** Chunks this server knows to be stale on some peer, pending
+    resync — including pending ownership-transfer pushes. Zero once
+    anti-entropy has caught up after a failure and any transfer has
+    drained. *)
+
+val current_epoch : t -> int
+(** The committed ownership-map epoch. *)
+
+val current_active : t -> int list
+(** The member indexes serving data under the committed map. *)
+
+val pending_transfer : t -> bool
+(** Whether this server knows of a reconfiguration whose handoff has
+    not yet cut over. *)
+
+val nonowned_chunk_count : t -> int
+(** Stored chunks this server does not own under the committed map.
+    Transiently non-zero right after a cutover; the background GC
+    frees them, and the reconfiguration sweep asserts they reach 0 —
+    the "no data served from a decommissioned owner" teeth. *)
 
 val stale_reject_count : t -> int
 (** Mutations (writes, replica pushes, decommits) refused because
@@ -56,3 +92,17 @@ val stale_applied_count : t -> int
     copy-on-write base read can block past the stamp). This is the §6
     invariant the lease margin is sized to protect; the partition
     sweep asserts it stays 0. *)
+
+val wrong_epoch_count : t -> int
+(** Data requests refused by the ownership-map guard (stale client
+    epoch, or this server not an owner of the addressed chunk). *)
+
+val xfer_push_count : t -> int
+(** Resync/handoff push RPCs this server has had acknowledged. *)
+
+val xfer_bytes_pushed : t -> int
+(** Bytes carried by those pushes (the migration traffic the bench
+    reports). *)
+
+val gc_chunk_count : t -> int
+(** Chunks freed by the post-cutover ownership GC. *)

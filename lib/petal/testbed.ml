@@ -6,10 +6,16 @@ type t = {
   addrs : Net.addr array;
   rpcs : Rpc.t array;
   disks : Blockdev.Disk.t array array; (* raw disks, for fault injection *)
+  active : int list; (* member indexes initially serving data *)
 }
 
-let build ~net ?(nservers = 7) ?(ndisks = 9) ?(nvram = false)
+let build ~net ?(nservers = 7) ?nactive ?(ndisks = 9) ?(nvram = false)
     ?(disk_capacity = 64 * 1024 * 1024) () =
+  let active =
+    match nactive with
+    | None -> List.init nservers Fun.id
+    | Some n -> List.init (min n nservers) Fun.id
+  in
   let hosts = Array.init nservers (fun i -> Host.create (Printf.sprintf "petal%d" i)) in
   let rpcs = Array.map (fun h -> Rpc.create (Net.attach net h)) hosts in
   let addrs = Array.map Rpc.addr rpcs in
@@ -28,8 +34,8 @@ let build ~net ?(nservers = 7) ?(ndisks = 9) ?(nvram = false)
             raw_disks.(i)
         in
         Server.create ~host:hosts.(i) ~rpc:rpcs.(i) ~peers:addrs ~index:i ~disks
-          ~stable:(Paxos_group.stable ()))
+          ~stable:(Paxos_group.stable ()) ~active ())
   in
-  { hosts; servers; addrs; rpcs; disks = raw_disks }
+  { hosts; servers; addrs; rpcs; disks = raw_disks; active }
 
-let client t ~rpc = Client.connect ~rpc ~servers:t.addrs
+let client t ~rpc = Client.connect ~rpc ~servers:t.addrs ~active:t.active ()

@@ -9,11 +9,15 @@ type t = {
       servers) can co-locate on the Petal machines, as in Figure 2 *)
   disks : Blockdev.Disk.t array array;
       (** the raw disks per server, for fault injection in tests *)
+  active : int list;
+      (** the member indexes initially serving data (clients built
+          with {!client} start routing under this map) *)
 }
 
 val build :
   net:Cluster.Net.t ->
   ?nservers:int ->
+  ?nactive:int ->
   ?ndisks:int ->
   ?nvram:bool ->
   ?disk_capacity:int ->
@@ -22,7 +26,10 @@ val build :
 (** Build a cluster: default 7 servers with 9 disks each (the paper's
     testbed), NVRAM off, 64 MB per simulated disk (plenty for
     experiments while keeping memory small — pass a larger
-    [disk_capacity] for long runs). *)
+    [disk_capacity] for long runs). [nactive] (default: all) makes
+    only the first [nactive] members serve data initially, leaving
+    the rest as standbys for reconfiguration tests — all [nservers]
+    participate in the Paxos group either way. *)
 
 val client : t -> rpc:Cluster.Rpc.t -> Client.t
 (** A driver instance on some (other) host, wired to this cluster. *)

@@ -11,11 +11,12 @@ type t = {
   mutable rpcs : (Frangipani.Fs.t * Rpc.t) list;
 }
 
-let build ?(petal_servers = 7) ?(ndisks = 9) ?(nvram = false) ?(nrep = 2)
-    ?(disk_capacity = 64 * 1024 * 1024) ?(ngroups = 100) () =
+let build ?(petal_servers = 7) ?petal_active ?(ndisks = 9) ?(nvram = false)
+    ?(nrep = 2) ?(disk_capacity = 64 * 1024 * 1024) ?(ngroups = 100) () =
   let net = Net.create () in
   let petal =
-    Petal.Testbed.build ~net ~nservers:petal_servers ~ndisks ~nvram ~disk_capacity ()
+    Petal.Testbed.build ~net ~nservers:petal_servers ?nactive:petal_active
+      ~ndisks ~nvram ~disk_capacity ()
   in
   (* Lock servers run on the Petal machines (Figure 2). *)
   let lock_addrs = petal.Petal.Testbed.addrs in

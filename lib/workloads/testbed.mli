@@ -17,6 +17,7 @@ type t = {
 
 val build :
   ?petal_servers:int ->
+  ?petal_active:int ->
   ?ndisks:int ->
   ?nvram:bool ->
   ?nrep:int ->
@@ -26,7 +27,10 @@ val build :
   t
 (** Defaults: 7 Petal servers × 9 disks (the paper's testbed), no
     NVRAM, 2-way replicated virtual disk, 64 MB per simulated disk.
-    The virtual disk is created and formatted. *)
+    The virtual disk is created and formatted. [petal_active] makes
+    only the first so-many Petal members serve data initially; the
+    rest are standbys the reconfiguration sweep activates mid-flight
+    (lock servers still run on all Petal machines). *)
 
 val add_server :
   t ->

@@ -1,0 +1,21 @@
+module Sweep = Workloads.Reconfsweep
+let () =
+  let spec =
+    match Sys.argv.(1) with
+    | s when String.length s > 0 && s.[0] >= '0' && s.[0] <= '9' ->
+      Sweep.Random (int_of_string s)
+    | s -> Sweep.Scripted s
+  in
+  let o = Sweep.run spec in
+  Printf.printf
+    "label=%s acked=%d failed=%d expired=%b req=%d com=%d final=[%s] exp=[%s] pushes=%d rejects=%d refreshes=%d gc=%d degraded=%d leftover=%d pending=%b end=%d\n"
+    o.Sweep.label o.Sweep.acked o.Sweep.failed_ops o.Sweep.expired o.Sweep.requested
+    o.Sweep.committed
+    (String.concat ";" (List.map string_of_int o.Sweep.final_active))
+    (String.concat ";" (List.map string_of_int o.Sweep.expected_active))
+    o.Sweep.xfer_pushes o.Sweep.wrong_epoch_rejects o.Sweep.map_refreshes
+    o.Sweep.gc_chunks o.Sweep.degraded_left o.Sweep.leftover_chunks
+    o.Sweep.pending_left o.Sweep.end_ns;
+  match Sweep.failures o with
+  | [] -> print_endline "CLEAN"
+  | fs -> List.iter (Printf.printf "FAIL: %s\n") fs

@@ -6,6 +6,7 @@ module P = Paxos.Make (struct
 end)
 
 type cluster = {
+  net : Net.t;
   hosts : Host.t array;
   rpcs : Rpc.t array;
   replicas : P.t array;
@@ -23,7 +24,7 @@ let mkcluster ?(n = 3) () =
         P.create ~rpc:rpcs.(i) ~group:1 ~peers ~id:i ~stable:(P.stable ())
           ~apply:(fun _slot cmd -> logs.(i) := cmd :: !(logs.(i))))
   in
-  { hosts; rpcs; replicas; logs }
+  { net; hosts; rpcs; replicas; logs }
 
 let applied c i = List.rev !(c.logs.(i))
 
@@ -156,6 +157,113 @@ let prop_safety_random_schedules =
           && applied c 0 = applied c 1
           && applied c 1 = applied c 2))
 
+(* --- nemesis schedules: seeded faults inside the Paxos traffic ------- *)
+
+(* Drive [per] proposals from each of [proposers] concurrently (each
+   proposer issues its commands in order) and return the sim time at
+   which the last proposal was decided. *)
+let duel c ~proposers ~per =
+  let pending = ref (List.length proposers * per) in
+  let all = Sim.Ivar.create () in
+  List.iter
+    (fun i ->
+      Sim.spawn (fun () ->
+          for k = 0 to per - 1 do
+            ignore (P.propose c.replicas.(i) (Printf.sprintf "n%d.%d" i k))
+          done;
+          pending := !pending - per;
+          if !pending = 0 then Sim.Ivar.fill all ()))
+    proposers;
+  Sim.Ivar.read all;
+  Sim.now ()
+
+let check_converged c ~n ~ncmds =
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d applied all" i)
+        ncmds
+        (List.length (applied c i)))
+    (List.init n Fun.id);
+  Alcotest.(check bool) "one decided sequence" true (consistent c);
+  Alcotest.(check bool) "all logs equal" true
+    (List.for_all (fun i -> applied c i = applied c 0) (List.init n Fun.id));
+  let l = applied c 0 in
+  Alcotest.(check int) "no duplicates" (List.length l)
+    (List.length (List.sort_uniq compare l))
+
+(* Duelling proposers through a 25%-loss network: prepares and
+   accepts vanish at random, so ballots collide and get re-fought —
+   yet the cluster must converge to a single decided sequence, and
+   must do so within a liveness bound of simulated time. *)
+let test_nemesis_lossy_duel () =
+  Sim.run ~seed:1105 (fun () ->
+      let c = mkcluster () in
+      let nf = Netfault.create ~seed:7 c.net in
+      Netfault.shape ~drop:0.25 nf;
+      let t0 = Sim.now () in
+      let decided_at = duel c ~proposers:[ 0; 1 ] ~per:5 in
+      Netfault.clear nf;
+      Sim.sleep (Sim.sec 5.0) (* catch-up daemons sync the laggard *);
+      check_converged c ~n:3 ~ncmds:10;
+      Alcotest.(check bool) "liveness bound (120 s sim)" true
+        (decided_at - t0 < Sim.sec 120.0);
+      (* The loss actually contested ballots: some proposal needed a
+         higher round than the uncontested minimum. *)
+      Alcotest.(check bool) "ballots were fought over" true
+        (P.round c.replicas.(0) + P.round c.replicas.(1) > 10);
+      let nfst = Netfault.stats nf in
+      Alcotest.(check bool) "nemesis dropped traffic" true (nfst.loss_drops > 0))
+
+(* Leader flaps: the current proposer is repeatedly isolated for a
+   beat and healed while both it and a rival keep proposing. Every
+   flap forces the duel to migrate to whichever side still has a
+   majority; decisions must survive each flap and the logs converge
+   once the flapping stops. *)
+let test_nemesis_leader_flaps () =
+  Sim.run ~seed:2210 (fun () ->
+      let c = mkcluster () in
+      let nf = Netfault.create ~seed:13 c.net in
+      let a i = Rpc.addr c.rpcs.(i) in
+      let flap victim at =
+        [ (at, fun nf -> Netfault.isolate nf (a victim));
+          (at + Sim.ms 1500, fun nf -> Netfault.heal_all nf) ]
+      in
+      Netfault.schedule nf
+        (List.concat
+           [ flap 0 (Sim.ms 200);
+             flap 1 (Sim.sec 4.0);
+             flap 0 (Sim.sec 8.0);
+             flap 1 (Sim.sec 12.0) ]);
+      let t0 = Sim.now () in
+      let decided_at = duel c ~proposers:[ 0; 1 ] ~per:4 in
+      Sim.sleep (Sim.sec 20.0) (* outlive the schedule, let catch-up run *);
+      check_converged c ~n:3 ~ncmds:8;
+      Alcotest.(check bool) "liveness bound (120 s sim)" true
+        (decided_at - t0 < Sim.sec 120.0))
+
+(* Delay/jitter shaping reorders messages (late promises, stale
+   accepts) without losing them; and the whole nemesis run must be
+   bit-identically replayable from its seeds. *)
+let test_nemesis_delay_replay () =
+  let run () =
+    let result = ref ([], 0) in
+    Sim.run ~seed:3311 (fun () ->
+        let c = mkcluster () in
+        let nf = Netfault.create ~seed:23 c.net in
+        Netfault.shape ~delay:(Sim.ms 40) ~jitter:(Sim.ms 80) ~drop:0.10 nf;
+        let _ = duel c ~proposers:[ 0; 1; 2 ] ~per:3 in
+        Netfault.clear nf;
+        Sim.sleep (Sim.sec 5.0);
+        check_converged c ~n:3 ~ncmds:9;
+        result := (applied c 0, Sim.now ()));
+    !result
+  in
+  let log1, end1 = run () in
+  let log2, end2 = run () in
+  Alcotest.(check (list string)) "same decided sequence on replay" log1 log2;
+  Alcotest.(check int) "same end time on replay" end1 end2
+
 let () =
   Alcotest.run "paxos"
     [
@@ -167,5 +275,14 @@ let () =
           Alcotest.test_case "partition heals" `Quick test_partition_heals;
           Alcotest.test_case "5 replicas, 2 crashes" `Quick test_five_replicas_two_crashes;
           QCheck_alcotest.to_alcotest prop_safety_random_schedules;
+        ] );
+      ( "nemesis",
+        [
+          Alcotest.test_case "duelling proposers, 25% loss" `Quick
+            test_nemesis_lossy_duel;
+          Alcotest.test_case "leader flaps converge" `Quick
+            test_nemesis_leader_flaps;
+          Alcotest.test_case "delay shaping, bit-identical replay" `Quick
+            test_nemesis_delay_replay;
         ] );
     ]

@@ -1,9 +1,9 @@
 open Simkit
 open Cluster
 
-let setup ?(nservers = 4) ?(nrep = 2) () =
+let setup ?(nservers = 4) ?nactive ?(nrep = 2) () =
   let net = Net.create () in
-  let tb = Petal.Testbed.build ~net ~nservers ~ndisks:3 () in
+  let tb = Petal.Testbed.build ~net ~nservers ?nactive ~ndisks:3 () in
   let ch = Host.create "client" in
   let rpc = Rpc.create (Net.attach net ch) in
   let c = Petal.Testbed.client tb ~rpc in
@@ -537,6 +537,114 @@ let test_read_runs_failover_concurrent () =
          slow piece cannot serialise the whole batch. *)
       Alcotest.(check bool) "failovers overlap" true (elapsed < Sim.sec 3.0))
 
+(* --- dynamic reconfiguration ----------------------------------------- *)
+
+(* Wait (bounded) until every server has committed map epoch [e],
+   finished any pending transfer, drained its push backlog and freed
+   chunks it no longer owns. *)
+let wait_reconfigured ?(bound = Sim.sec 120.0) tb e =
+  let deadline = Sim.now () + bound in
+  let settled () =
+    Array.for_all
+      (fun s ->
+        Petal.Server.current_epoch s = e
+        && (not (Petal.Server.pending_transfer s))
+        && Petal.Server.degraded_count s = 0
+        && Petal.Server.nonowned_chunk_count s = 0)
+      tb.Petal.Testbed.servers
+  in
+  while (not (settled ())) && Sim.now () < deadline do
+    Sim.sleep (Sim.ms 500)
+  done;
+  Alcotest.(check bool) "reconfiguration settled" true (settled ())
+
+let test_add_server_migrates () =
+  Sim.run (fun () ->
+      let _, tb, c, vd = setup ~nservers:4 ~nactive:3 () in
+      let cb = Petal.Protocol.chunk_bytes in
+      let nchunks = 12 in
+      for i = 0 to nchunks - 1 do
+        Petal.Client.write vd ~off:(i * cb) (bytes_pat 4096 (60 + i))
+      done;
+      Alcotest.(check int) "standby stores nothing" 0
+        (Petal.Server.chunk_count tb.Petal.Testbed.servers.(3));
+      Petal.Client.add_server c ~idx:3;
+      wait_reconfigured tb 1;
+      (* The joiner now owns (and stores) its share of the chunks. *)
+      Alcotest.(check bool) "joiner holds chunks" true
+        (Petal.Server.chunk_count tb.Petal.Testbed.servers.(3) > 0);
+      Alcotest.(check (list int)) "map grew" [ 0; 1; 2; 3 ]
+        (Petal.Server.current_active tb.Petal.Testbed.servers.(0));
+      (* The client still routes under the old map: its next reads hit
+         Wrong_epoch, refetch the map, and succeed transparently. *)
+      for i = 0 to nchunks - 1 do
+        let got = Petal.Client.read vd ~off:(i * cb) ~len:4096 in
+        Alcotest.(check bool)
+          (Printf.sprintf "chunk %d survives add" i)
+          true
+          (Bytes.equal got (bytes_pat 4096 (60 + i)))
+      done;
+      let st = Petal.Client.op_stats vd in
+      Alcotest.(check bool) "client refetched map" true (st.map_refreshes >= 1);
+      Alcotest.(check bool) "wrong-epoch retries recorded" true
+        (st.wrong_epoch_retries >= 1))
+
+let test_remove_server_drains_owner () =
+  Sim.run (fun () ->
+      let _, tb, c, vd = setup ~nservers:4 () in
+      let cb = Petal.Protocol.chunk_bytes in
+      let nchunks = 12 in
+      for i = 0 to nchunks - 1 do
+        Petal.Client.write vd ~off:(i * cb) (bytes_pat 4096 (80 + i))
+      done;
+      Petal.Client.remove_server c ~idx:1;
+      wait_reconfigured tb 1;
+      (* The decommissioned owner holds nothing it could serve stale. *)
+      Alcotest.(check int) "decommissioned server emptied" 0
+        (Petal.Server.chunk_count tb.Petal.Testbed.servers.(1));
+      Alcotest.(check (list int)) "map shrank" [ 0; 2; 3 ]
+        (Petal.Server.current_active tb.Petal.Testbed.servers.(2));
+      for i = 0 to nchunks - 1 do
+        let got = Petal.Client.read vd ~off:(i * cb) ~len:4096 in
+        Alcotest.(check bool)
+          (Printf.sprintf "chunk %d survives remove" i)
+          true
+          (Bytes.equal got (bytes_pat 4096 (80 + i)))
+      done)
+
+let test_reconfig_serialized () =
+  Sim.run (fun () ->
+      let _, tb, c, vd = setup ~nservers:5 ~nactive:3 () in
+      let cb = Petal.Protocol.chunk_bytes in
+      for i = 0 to 7 do
+        Petal.Client.write vd ~off:(i * cb) (bytes_pat 4096 i)
+      done;
+      Petal.Client.add_server c ~idx:3;
+      (* A different reconfiguration while the first is pending is
+         refused; retrying the same one is idempotent. *)
+      (match Petal.Client.add_server c ~idx:4 with
+      | () -> Alcotest.fail "second reconfig accepted while pending"
+      | exception Failure _ -> ());
+      Petal.Client.add_server c ~idx:3;
+      wait_reconfigured tb 1;
+      (* After the cutover the next one goes through. *)
+      Petal.Client.add_server c ~idx:4;
+      wait_reconfigured tb 2;
+      Alcotest.(check (list int)) "both committed in order" [ 0; 1; 2; 3; 4 ]
+        (Petal.Server.current_active tb.Petal.Testbed.servers.(4)))
+
+let test_reconfig_refused_with_snapshot () =
+  Sim.run (fun () ->
+      let _, _, c, vd = setup ~nservers:4 ~nactive:3 () in
+      Petal.Client.write vd ~off:0 (bytes_pat 4096 5);
+      ignore (Petal.Client.snapshot vd);
+      (* Snapshots pin old chunk versions the handoff stream does not
+         carry; reconfiguration must refuse rather than migrate a
+         disk that would lose its history. *)
+      match Petal.Client.add_server c ~idx:3 with
+      | () -> Alcotest.fail "reconfig accepted with a frozen snapshot"
+      | exception Failure _ -> ())
+
 let () =
   Alcotest.run "petal"
     [
@@ -576,6 +684,17 @@ let () =
         [
           Alcotest.test_case "decommit" `Quick test_decommit;
           Alcotest.test_case "two vdisks isolated" `Quick test_two_vdisks_isolated;
+        ] );
+      ( "reconfiguration",
+        [
+          Alcotest.test_case "add server migrates ownership" `Quick
+            test_add_server_migrates;
+          Alcotest.test_case "remove server drains old owner" `Quick
+            test_remove_server_drains_owner;
+          Alcotest.test_case "reconfigs serialized, retries idempotent" `Quick
+            test_reconfig_serialized;
+          Alcotest.test_case "refused while a snapshot exists" `Quick
+            test_reconfig_refused_with_snapshot;
         ] );
       ( "snapshots",
         [

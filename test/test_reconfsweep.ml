@@ -1,0 +1,76 @@
+(* The membership-change sweep: a bounded subset of the scripted +
+   seeded schedules (the full 200-schedule sweep is
+   test_reconfsweep_full.exe), plus the determinism contract — the
+   same spec must replay bit-identically, or a seed in a failure
+   report would be unreproducible. *)
+
+module Sweep = Workloads.Reconfsweep
+
+let check_clean what (o : Sweep.outcome) =
+  Alcotest.(check (list string)) what [] (Sweep.failures o)
+
+(* The scenarios most likely to regress: a plain join (did anything
+   move at all? did clients actually re-route?), a plain drain-out,
+   serialized back-to-back changes, and the partitioned joiner. *)
+let test_scripted_subset () =
+  let o = Sweep.run (Sweep.Scripted "add_plain") in
+  check_clean "add_plain" o;
+  Alcotest.(check bool)
+    (Printf.sprintf "handoff streamed chunks (got %d)" o.Sweep.xfer_pushes)
+    true (o.Sweep.xfer_pushes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "client hit Wrong_epoch and refreshed (got %d)"
+       o.Sweep.map_refreshes)
+    true
+    (o.Sweep.map_refreshes > 0);
+  let o = Sweep.run (Sweep.Scripted "remove_plain") in
+  check_clean "remove_plain" o;
+  Alcotest.(check bool)
+    (Printf.sprintf "decommissioned member was emptied (gc %d)" o.Sweep.gc_chunks)
+    true (o.Sweep.gc_chunks > 0);
+  let o = Sweep.run (Sweep.Scripted "back_to_back") in
+  check_clean "back_to_back" o;
+  Alcotest.(check int) "three epochs committed" 3 o.Sweep.committed;
+  let o = Sweep.run (Sweep.Scripted "add_joiner_partitioned") in
+  check_clean "add_joiner_partitioned" o
+
+(* Crash-composed schedules: a transfer source dying mid-stream and
+   the proposing server dying inside the management call must both
+   leave the handoff able to finish. *)
+let test_crash_schedules () =
+  let o = Sweep.run (Sweep.Scripted "owner_dies_mid_transfer") in
+  check_clean "owner_dies_mid_transfer" o;
+  let o = Sweep.run (Sweep.Scripted "proposer_dies_mid_add") in
+  check_clean "proposer_dies_mid_add" o;
+  let o = Sweep.run (Sweep.Scripted "cutover_proposer_dies") in
+  check_clean "cutover_proposer_dies" o
+
+(* Same spec, twice: every field of the outcome — including the
+   simulated end time — must match. *)
+let test_deterministic_replay () =
+  let o = Sweep.run (Sweep.Scripted "add_then_remove") in
+  check_clean "add_then_remove" o;
+  let o' = Sweep.run (Sweep.Scripted "add_then_remove") in
+  Alcotest.(check bool) "scripted replay is bit-identical" true (o = o');
+  let r = Sweep.run (Sweep.Random 5) in
+  let r' = Sweep.run (Sweep.Random 5) in
+  Alcotest.(check bool) "seeded replay is bit-identical" true (r = r')
+
+let test_random_seeds () =
+  List.iter
+    (fun n ->
+      check_clean (Printf.sprintf "random_%d" n) (Sweep.run (Sweep.Random n)))
+    [ 1; 2; 3 ]
+
+let () =
+  Alcotest.run "reconfsweep"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "scripted subset" `Quick test_scripted_subset;
+          Alcotest.test_case "crash schedules" `Quick test_crash_schedules;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_deterministic_replay;
+          Alcotest.test_case "seeded schedules" `Quick test_random_seeds;
+        ] );
+    ]

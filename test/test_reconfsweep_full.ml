@@ -1,0 +1,64 @@
+(* The exhaustive reconfiguration sweep: every scripted schedule plus
+   enough seeded ones for 200 total runs, each checking the full
+   invariant set (every requested change commits, the final map is
+   the expected member set, acked data survives, the push backlog
+   drains, non-owners end up empty, fsck clean), with a determinism
+   spot-check every 20th run.
+
+   Too slow for tier-1 `dune runtest`; run it from the verify
+   workflow with:  dune exec test/test_reconfsweep_full.exe
+   (optionally `-- --stride S` to thin the seeded portion). *)
+
+module Sweep = Workloads.Reconfsweep
+
+let () =
+  let stride = ref 1 in
+  let () =
+    Arg.parse
+      [ ("--stride", Arg.Set_int stride, "N  run every Nth seeded schedule (default 1)") ]
+      (fun a -> raise (Arg.Bad a))
+      "test_reconfsweep_full [--stride N]"
+  in
+  let nscripted = List.length Sweep.scripted_labels in
+  let nrandom = 200 - nscripted in
+  let failed = ref 0 and ran = ref 0 in
+  let check spec (o : Sweep.outcome) =
+    incr ran;
+    (match Sweep.failures o with
+    | [] -> ()
+    | fs ->
+      incr failed;
+      List.iter (Printf.printf "FAIL (%s): %s\n%!" o.Sweep.label) fs);
+    (* Replay every 20th run: a sweep whose failures cannot be
+       reproduced from the printed label is worthless. *)
+    if !ran mod 20 = 0 then begin
+      let o' = Sweep.run spec in
+      if o <> o' then begin
+        incr failed;
+        Printf.printf "FAIL (%s): replay not bit-identical\n%!" o.Sweep.label
+      end
+    end
+  in
+  Printf.printf
+    "reconfiguration sweep: %d scripted + %d seeded schedules, stride %d\n%!"
+    nscripted nrandom !stride;
+  List.iter
+    (fun name ->
+      let o = Sweep.run (Sweep.Scripted name) in
+      Printf.printf
+        "  %-22s acked %2d failed %2d%s epochs %d pushes %4d gc %3d rejects %3d\n%!"
+        name o.Sweep.acked o.Sweep.failed_ops
+        (if o.Sweep.expired then " EXPIRED" else "        ")
+        o.Sweep.committed o.Sweep.xfer_pushes o.Sweep.gc_chunks
+        o.Sweep.wrong_epoch_rejects;
+      check (Sweep.Scripted name) o)
+    Sweep.scripted_labels;
+  let n = ref 1 in
+  while !n <= nrandom do
+    let o = Sweep.run (Sweep.Random !n) in
+    check (Sweep.Random !n) o;
+    if !ran mod 25 = 0 then Printf.printf "  ... %d runs\n%!" !ran;
+    n := !n + !stride
+  done;
+  Printf.printf "reconfiguration sweep: %d runs, %d failures\n%!" !ran !failed;
+  if !failed > 0 then exit 1
