@@ -4,71 +4,119 @@
      dune exec bench/check_regress.exe -- --allow-missing   -- pass when < 2 files
      dune exec bench/check_regress.exe OLD.json NEW.json
 
-   Compares per-workload "throughput_mb_per_s" between the two files
-   and exits 1 if any workload present in both dropped by more than
-   20% — the verify recipe runs this after regenerating the current
-   PR's json so a perf PR cannot silently undo an earlier one.
+   Three sections are gated, each with its own tolerance:
+
+   - "workloads": per-workload "throughput_mb_per_s" must not drop
+     more than 20%. Simulated-time numbers, fully deterministic.
+   - "sim": simkit microbenchmark "ns_per_op" must not more than
+     double. Host wall-clock, so noisy on a shared box — the gate
+     catches kernel regressions, not jitter.
+   - "scale": per-cluster-size "fs_ops_per_sec" (deterministic, 20%
+     as for workloads) and "events_per_sec" (host wall-clock; runs on
+     this 1-vCPU container vary several-fold, so only an
+     order-of-magnitude collapse — >90% drop — fails).
+
+   Metrics present in only one of the two files never fail: a section
+   the older snapshot predates (e.g. "sim" and "scale" appeared with
+   BENCH_6) is reported as new and skipped, which is the
+   --allow-missing semantics at per-metric granularity.
 
    The json is the line-oriented subset bench/main.exe emits; this
    parses it with the stdlib only (no json library in the image). *)
 
-let tolerance = 0.20
+type dir = Higher | Lower
+
+(* section -> gated keys within its rows: (key, direction, tolerance). *)
+let gates =
+  [
+    ("workloads", [ ("throughput_mb_per_s", Higher, 0.20) ]);
+    ("sim", [ ("ns_per_op", Lower, 1.00) ]);
+    ( "scale",
+      [ ("fs_ops_per_sec", Higher, 0.20); ("events_per_sec", Higher, 0.90) ] );
+  ]
 
 let contains line sub =
   let n = String.length line and m = String.length sub in
   let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
   m > 0 && go 0
 
-(* A workload row looks like:
-     "name": { "throughput_mb_per_s": 13.092, ... },
-   Pull the name from the first quoted string and the number after
-   the throughput key. *)
-let parse_row line =
+(* Pull the float following "<key>": out of a row line, if present. *)
+let find_value line key =
+  let key = "\"" ^ key ^ "\":" in
+  let n = String.length line and m = String.length key in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = key then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some v0 ->
+    let stop = ref v0 in
+    while
+      !stop < n
+      && (match line.[!stop] with
+         | '0' .. '9' | '.' | '-' | 'e' | '+' | ' ' -> true
+         | _ -> false)
+    do
+      incr stop
+    done;
+    (try Some (float_of_string (String.trim (String.sub line v0 (!stop - v0))))
+     with Failure _ -> None)
+
+(* First quoted string on the line: the row (or section) name. *)
+let quoted_name line =
   match String.index_opt line '"' with
   | None -> None
   | Some q0 -> (
     match String.index_from_opt line (q0 + 1) '"' with
     | None -> None
-    | Some q1 ->
-      let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
-      let key = "\"throughput_mb_per_s\":" in
-      let rec find i =
-        if i + String.length key > String.length line then None
-        else if String.sub line i (String.length key) = key then
-          Some (i + String.length key)
-        else find (i + 1)
-      in
-      (match find (q1 + 1) with
-      | None -> None
-      | Some v0 ->
-        let stop = ref v0 in
-        while
-          !stop < String.length line
-          && (match line.[!stop] with
-             | '0' .. '9' | '.' | '-' | 'e' | '+' | ' ' -> true
-             | _ -> false)
-        do
-          incr stop
-        done;
-        (try Some (name, float_of_string (String.trim (String.sub line v0 (!stop - v0))))
-         with Failure _ -> None)))
+    | Some q1 -> Some (String.sub line (q0 + 1) (q1 - q0 - 1)))
 
+(* Returns rows as (id, value, dir, tolerance); id is
+   "section/row key" so the same row can carry several gated keys. *)
 let parse_file path =
   let ic = open_in path in
   let rows = ref [] in
-  (* Only rows inside the "workloads" section are performance data;
-     later sections ("net", ...) hold counter-only observability
-     fields that must not enter the comparison. *)
-  let in_workloads = ref false in
+  let section = ref None in
   (try
      while true do
        let line = input_line ic in
-       if contains line "\"workloads\"" then in_workloads := true
-       else if !in_workloads && String.trim line = "}," then in_workloads := false
-       else if !in_workloads && contains line "throughput_mb_per_s" then
-         match parse_row line with
-         | Some row -> rows := row :: !rows
-         | None -> ()
+       let starts_section =
+         List.exists
+           (fun (sec, _) ->
+             if contains line ("\"" ^ sec ^ "\": {") then begin
+               section := Some sec;
+               true
+             end
+             else false)
+           gates
+       in
+       if starts_section then ()
+       else if contains line "\": {" && not (contains line "}") then
+         (* Header of a non-gated section ("net": {, "reconf": { ...):
+            only section headers open a brace without closing it on
+            the same line — row lines are single-line objects. *)
+         section := None
+       else begin
+         let t = String.trim line in
+         if t = "}," || t = "}" then section := None
+         else
+           match !section with
+           | None -> ()
+           | Some sec -> (
+             match quoted_name line with
+             | None -> ()
+             | Some name ->
+               List.iter
+                 (fun (key, d, tol) ->
+                   match find_value line key with
+                   | Some v ->
+                     rows :=
+                       (sec ^ "/" ^ name ^ " " ^ key, v, d, tol) :: !rows
+                   | None -> ())
+                 (List.assoc sec gates))
+       end
      done
    with End_of_file -> ());
   close_in ic;
@@ -111,27 +159,39 @@ let () =
       exit 2
   in
   let prev = parse_file prev_file and cur = parse_file cur_file in
-  Printf.printf "check_regress: %s -> %s (fail on >%.0f%% throughput drop)\n"
-    prev_file cur_file (tolerance *. 100.);
+  Printf.printf "check_regress: %s -> %s\n" prev_file cur_file;
+  let assoc id rows =
+    List.find_map (fun (i, v, _, _) -> if i = id then Some v else None) rows
+  in
   let failed = ref false in
   List.iter
-    (fun (name, old_thr) ->
-      match List.assoc_opt name cur with
-      | None -> Printf.printf "  %-28s %8.3f -> (gone)   WARN: workload dropped\n" name old_thr
-      | Some new_thr ->
+    (fun (id, old_v, d, tol) ->
+      match assoc id cur with
+      | None ->
+        Printf.printf "  %-44s %10.1f -> (gone)   WARN: metric dropped\n" id
+          old_v
+      | Some new_v ->
         let delta =
-          if old_thr > 0. then (new_thr -. old_thr) /. old_thr *. 100. else 0.
+          if old_v > 0. then (new_v -. old_v) /. old_v *. 100. else 0.
         in
-        let bad = old_thr > 0. && new_thr < old_thr *. (1. -. tolerance) in
+        let bad =
+          old_v > 0.
+          &&
+          match d with
+          | Higher -> new_v < old_v *. (1. -. tol)
+          | Lower -> new_v > old_v *. (1. +. tol)
+        in
         if bad then failed := true;
-        Printf.printf "  %-28s %8.3f -> %8.3f MB/s  %+7.1f%%%s\n" name old_thr
-          new_thr delta
+        Printf.printf "  %-44s %10.1f -> %10.1f  %+7.1f%% (tol %s%.0f%%)%s\n" id
+          old_v new_v delta
+          (match d with Higher -> "-" | Lower -> "+")
+          (tol *. 100.)
           (if bad then "  REGRESSION" else ""))
     prev;
   List.iter
-    (fun (name, new_thr) ->
-      if not (List.mem_assoc name prev) then
-        Printf.printf "  %-28s     (new) -> %8.3f MB/s\n" name new_thr)
+    (fun (id, new_v, _, _) ->
+      if assoc id prev = None then
+        Printf.printf "  %-44s      (new) -> %10.1f\n" id new_v)
     cur;
   if !failed then begin
     prerr_endline "check_regress: FAIL";

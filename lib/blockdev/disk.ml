@@ -74,23 +74,22 @@ let slab_for t idx =
     Hashtbl.replace t.slabs idx b;
     b
 
-(* Copy [len] bytes between the slab store and [buf], in [dir]
-   [`In] = store -> buf, [`Out] = buf -> store. *)
-let move t ~off buf ~dir =
-  let len = Bytes.length buf in
-  let rec go doff boff =
-    if boff < len then begin
+(* Copy the [boff, boff+len) range of [buf] to/from the slab store at
+   disk offset [off]; [dir] [`In] = store -> buf, [`Out] = buf -> store. *)
+let move t ~off buf ~boff ~len ~dir =
+  let rec go doff boff left =
+    if left > 0 then begin
       let idx = doff / slab_bytes in
       let within = doff mod slab_bytes in
-      let n = min (slab_bytes - within) (len - boff) in
+      let n = min (slab_bytes - within) left in
       let slab = slab_for t idx in
       (match dir with
       | `In -> Bytes.blit slab within buf boff n
       | `Out -> Bytes.blit buf boff slab within n);
-      go (doff + n) (boff + n)
+      go (doff + n) (boff + n) (left - n)
     end
   in
-  go off 0
+  go off boff len
 
 let read t ~off ~len =
   check t ~off ~len;
@@ -104,19 +103,23 @@ let read t ~off ~len =
     (fun s () -> if s >= s0 && s < s1 then raise (Bad_sector s))
     t.damaged;
   let buf = Bytes.create len in
-  move t ~off buf ~dir:`In;
+  move t ~off buf ~boff:0 ~len ~dir:`In;
   buf
 
-let write t ~off data =
-  check t ~off ~len:(Bytes.length data);
+let write_sub t ~off data ~boff ~len =
+  if boff < 0 || len < 0 || boff + len > Bytes.length data then
+    invalid_arg (t.dname ^ ": write_sub slice out of range");
+  check t ~off ~len;
   Sim.Resource.acquire t.arm;
-  Sim.sleep (service_time t ~off ~len:(Bytes.length data));
-  t.pos <- off + Bytes.length data;
+  Sim.sleep (service_time t ~off ~len);
+  t.pos <- off + len;
   Sim.Resource.release t.arm;
   if t.failed then raise (Failed t.dname);
-  move t ~off data ~dir:`Out;
-  let s0 = off / sector_size and s1 = (off + Bytes.length data) / sector_size in
+  move t ~off data ~boff ~len ~dir:`Out;
+  let s0 = off / sector_size and s1 = (off + len) / sector_size in
   for s = s0 to s1 - 1 do
     Hashtbl.remove t.damaged s
   done;
   Faultpoint.hit "disk.write"
+
+let write t ~off data = write_sub t ~off data ~boff:0 ~len:(Bytes.length data)

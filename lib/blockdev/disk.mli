@@ -38,7 +38,13 @@ val read : t -> off:int -> len:int -> bytes
 (** Blocking sector-aligned read; unwritten space reads as zeros. *)
 
 val write : t -> off:int -> bytes -> unit
-(** Blocking sector-aligned write. *)
+(** Blocking sector-aligned write. The disk copies the bytes into its
+    backing store before returning; the caller keeps ownership. *)
+
+val write_sub : t -> off:int -> bytes -> boff:int -> len:int -> unit
+(** Write the [\[boff, boff+len)] slice of a larger buffer without
+    materialising an intermediate copy. Same semantics as {!write}
+    of [Bytes.sub data boff len]. *)
 
 val arm : t -> Simkit.Sim.Resource.t
 (** The disk-arm queueing resource, exposed for utilisation stats. *)

@@ -42,7 +42,10 @@ let destager st () =
 let nvram_time st len =
   st.write_latency + int_of_float (float_of_int len /. float_of_int st.bytes_per_sec *. 1e9)
 
-let write st ~off data =
+(* Ownership-transfer write: [data] is stored in the table without a
+   copy, so the caller must never mutate it afterwards (the
+   Storage.write_own contract). *)
+let write_own st ~off data =
   let len = Bytes.length data in
   while st.used + len > st.capacity do
     Sim.Condition.wait st.space_freed
@@ -57,11 +60,16 @@ let write st ~off data =
     st.used <- st.used - Bytes.length old;
     Hashtbl.remove st.table off
   | None -> ());
-  Hashtbl.replace st.table off (Bytes.copy data);
+  Hashtbl.replace st.table off data;
   st.used <- st.used + len;
   Queue.push off st.order;
   Sim.Condition.broadcast st.work;
   Faultpoint.hit "nvram.write"
+
+let write st ~off data = write_own st ~off (Bytes.copy data)
+
+let write_sub st ~off data ~boff ~len =
+  write_own st ~off (Bytes.sub data boff len)
 
 let read st ~off ~len =
   (* Exact-offset hit serves straight from NVRAM; any partial overlap
@@ -115,5 +123,7 @@ let wrap ?(capacity = 8 * 1024 * 1024) ?(write_latency = Sim.us 50)
     capacity = Disk.capacity disk;
     read = read st;
     write = write st;
+    write_own = write_own st;
+    write_sub = write_sub st;
     flush = flush st;
   }

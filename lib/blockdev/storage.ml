@@ -3,6 +3,8 @@ type t = {
   capacity : int;
   read : off:int -> len:int -> bytes;
   write : off:int -> bytes -> unit;
+  write_own : off:int -> bytes -> unit;
+  write_sub : off:int -> bytes -> boff:int -> len:int -> unit;
   flush : unit -> unit;
 }
 
@@ -12,5 +14,9 @@ let of_disk d =
     capacity = Disk.capacity d;
     read = (fun ~off ~len -> Disk.read d ~off ~len);
     write = (fun ~off data -> Disk.write d ~off data);
+    (* The disk copies into its slab store either way, so ownership
+       transfer is free here. *)
+    write_own = (fun ~off data -> Disk.write d ~off data);
+    write_sub = (fun ~off data ~boff ~len -> Disk.write_sub d ~off data ~boff ~len);
     flush = (fun () -> ());
   }

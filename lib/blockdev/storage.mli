@@ -2,13 +2,29 @@
 
     Petal servers and the AdvFS baseline are written against this
     record type so a raw disk and an NVRAM-fronted disk (the paper's
-    "Raw" and "NVR" configurations) are interchangeable. *)
+    "Raw" and "NVR" configurations) are interchangeable.
+
+    {b Buffer ownership.} [write] never retains the caller's buffer
+    (an implementation copies if it buffers). [write_own] transfers
+    ownership: the implementation may alias the buffer indefinitely,
+    so the caller must never mutate it afterwards — the contract the
+    zero-copy data path (RPC payloads are immutable after send)
+    relies on. [write_sub] writes the [\[boff, boff+len)] slice of a
+    larger buffer the caller keeps; the implementation must not
+    retain the slice without copying it. [read] returns a fresh
+    buffer the caller owns outright. *)
 
 type t = {
   sname : string;
   capacity : int;
   read : off:int -> len:int -> bytes;
   write : off:int -> bytes -> unit;
+  write_own : off:int -> bytes -> unit;
+      (** Like [write], but the buffer becomes the implementation's:
+          the caller must not mutate it after the call. *)
+  write_sub : off:int -> bytes -> boff:int -> len:int -> unit;
+      (** Write a slice of a caller-owned buffer without an
+          intermediate [Bytes.sub]. *)
   flush : unit -> unit;  (** Wait until all buffered writes are stable. *)
 }
 

@@ -76,49 +76,57 @@ let stack_cost p size = p.cpu_ns_per_msg + (p.cpu_ns_per_byte * size)
 let transfer_time p size =
   int_of_float (float_of_int (size * 8) /. p.bandwidth *. 1e9)
 
+(* The in-flight portion of a message is a chain of heap events, not
+   a process: the tx and rx links are FIFO pipes ([Resource.reserve]),
+   and latency/CPU segments are [Sim.at] callbacks. A cluster moving
+   millions of messages allocates one event per hop instead of two
+   fibers per message; timing and the delivery-instant fault semantics
+   are unchanged from the process formulation. *)
 let send p ~dst ~size m =
   Host.check p.phost;
   (* Protocol-stack CPU work is paid synchronously by the caller. *)
   Sim.Resource.use (Host.cpu p.phost) (stack_cost p size);
   let t = p.pnet in
   let src = p.paddr in
-  Sim.spawn (fun () ->
-      Sim.Resource.use p.tx (transfer_time p size);
-      Sim.sleep p.latency;
+  let tx_done = Sim.Resource.reserve p.tx (transfer_time p size) in
+  let deliver () =
+    (* Partition semantics: both predicates are evaluated at the
+       delivery instant, so a cut installed while a message is in
+       flight retroactively drops it (see net.mli). *)
+    if
+      Host.is_alive p.phost
+      && t.reachable src dst
+      && not (t.fault_cut src dst)
+    then
+      match find_port t dst with
+      | Some q when Host.is_alive q.phost ->
+        (* Receive side: the message occupies the receiver's link,
+           then its protocol-stack CPU cost is charged, before the
+           message becomes visible. *)
+        let rx_done = Sim.Resource.reserve q.rx (transfer_time q size) in
+        Sim.at rx_done (fun () ->
+            if Host.is_alive q.phost then begin
+              let cpu = Host.cpu q.phost in
+              Sim.Resource.acquire_cb cpu (fun () ->
+                  Sim.at
+                    (Sim.now () + stack_cost q size)
+                    (fun () ->
+                      Sim.Resource.release cpu;
+                      if Host.is_alive q.phost then
+                        Sim.Mailbox.send q.inbox (src, m)))
+            end)
+      | Some _ | None -> ()
+  in
+  Sim.at (tx_done + p.latency) (fun () ->
       (* Network-emulation hook (Netfault): consulted once per
          message, after the base propagation latency, so loss and
          added delay are sampled in a deterministic order. *)
-      let lost =
-        match t.netem with
-        | None -> false
-        | Some em -> (
-          match em src dst size with
-          | Deliver -> false
-          | Lose -> true
-          | Delay d ->
-            Sim.sleep d;
-            false)
-      in
-      (* Partition semantics: both predicates are evaluated at the
-         delivery instant, so a cut installed while a message is in
-         flight retroactively drops it (see net.mli). *)
-      if
-        (not lost)
-        && Host.is_alive p.phost
-        && t.reachable src dst
-        && not (t.fault_cut src dst)
-      then
-        match find_port t dst with
-        | Some q when Host.is_alive q.phost ->
-          (* Receive side: the message occupies the receiver's link,
-             then its protocol-stack CPU cost is charged, before the
-             message becomes visible. *)
-          Sim.spawn (fun () ->
-              Sim.Resource.use q.rx (transfer_time q size);
-              if Host.is_alive q.phost then begin
-                Sim.Resource.use (Host.cpu q.phost) (stack_cost q size);
-                if Host.is_alive q.phost then Sim.Mailbox.send q.inbox (src, m)
-              end)
-        | Some _ | None -> ())
+      match t.netem with
+      | None -> deliver ()
+      | Some em -> (
+        match em src dst size with
+        | Deliver -> deliver ()
+        | Lose -> ()
+        | Delay d -> Sim.at (Sim.now () + d) deliver))
 
 let recv p = Sim.Mailbox.recv p.inbox

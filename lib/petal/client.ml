@@ -483,14 +483,17 @@ let write_async v ~off data =
       List.iter
         (fun (chunk, within, n) ->
           Faultpoint.hit "petal.write_piece";
-          let piece = Bytes.sub data !pos n in
+          (* Every piece shares the caller's buffer via a (doff, dlen)
+             slice — no per-piece copy. Safe because payloads are
+             immutable once sent (Storage.mli's ownership rules). *)
+          let doff = !pos in
           pos := !pos + n;
           let expires = v.c.write_guard () in
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep
             ~size:(write_req_size n)
             ~req_of:(fun ~solo ->
               Write_req
-                { root = v.root; chunk; within; data = piece; solo;
+                { root = v.root; chunk; within; data; doff; dlen = n; solo;
                   mepoch = v.c.mepoch; expires })
             ~on_reply:(function
               | Write_ok -> ()

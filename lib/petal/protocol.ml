@@ -60,6 +60,13 @@ type Net.payload +=
       chunk : int;
       within : int;
       data : bytes;
+      doff : int;
+      dlen : int;
+          (** The bytes written are [data\[doff, doff+dlen)]: a client
+              splitting one large buffer across chunks sends slices of
+              the same underlying [bytes] instead of copying each
+              piece. The buffer is immutable once sent (the zero-copy
+              ownership rule), so sharing is safe. *)
       solo : bool;  (** Degraded-mode write: do not forward to the replica. *)
       mepoch : int;  (** Routing map epoch, as in {!Read_req}. *)
       expires : int option;
@@ -72,6 +79,8 @@ type Net.payload +=
       chunk : int;
       within : int;
       data : bytes;
+      doff : int;
+      dlen : int;  (** Slice convention as in {!Write_req}. *)
       epoch : int;
       expires : int option;
       stamp : int;

@@ -193,17 +193,18 @@ let tracing = Sys.getenv_opt "PETAL_TRACE" <> None
 
 let needle = Sys.getenv_opt "PETAL_TRACE_NEEDLE"
 
-let data_has_needle data =
+let data_has_needle ?(boff = 0) ?len data =
   match needle with
   | None -> false
   | Some n ->
-    let nl = String.length n and dl = Bytes.length data in
+    let nl = String.length n in
+    let dl = boff + (match len with Some l -> l | None -> Bytes.length data - boff) in
     let rec at i =
       if i + nl > dl then false
       else if String.equal (Bytes.sub_string data i nl) n then true
       else at (i + 1)
     in
-    at 0
+    at boff
 
 let trace fmt =
   if tracing then Printf.eprintf (fmt ^^ "\n%!")
@@ -509,14 +510,32 @@ exception Expired_stamp
    chunk lock; the handler turns it into the same rejection as an
    arrival-time check. *)
 
-(* Write [data] into the chunk under epoch tag [epoch], copying an
-   older extent first if a snapshot pinned it (copy-on-write). *)
-let write_chunk t ~root ~chunk ~within ~data ~epoch ~expires =
+(* Record a freshly written extent: replace a same-epoch entry
+   (tombstone, or a stale copy being repaired by resync); otherwise
+   insert keeping the list sorted newest-first — a resync push may
+   arrive with an older epoch than our head if a snapshot happened
+   while the peer was down. *)
+let place_version t vl ~epoch ~ext =
+  let fresh = { epoch; loc = Some ext } in
+  let rec place = function
+    | v :: rest when v.epoch > epoch -> v :: place rest
+    | v :: rest when v.epoch = epoch ->
+      (match v.loc with Some e -> free_extent t e | None -> ());
+      fresh :: rest
+    | rest -> fresh :: rest
+  in
+  vl := place !vl
+
+(* Write the [data[doff, doff+dlen)] slice into the chunk under epoch
+   tag [epoch], copying an older extent first if a snapshot pinned it
+   (copy-on-write). [data] is typically a shared RPC payload — sliced,
+   never copied, and never mutated (the zero-copy ownership rule). *)
+let write_chunk t ~root ~chunk ~within ~data ~doff ~dlen ~epoch ~expires =
   Faultpoint.hit "petal.chunk_write";
   with_chunk_lock t (root, chunk) @@ fun () ->
   trace "t=%d W %s root=%d chunk=%d w=%d len=%d hit=%b" (Sim.now ())
-    (Host.name t.host) root chunk within (Bytes.length data)
-    (data_has_needle data);
+    (Host.name t.host) root chunk within dlen
+    (data_has_needle ~boff:doff ~len:dlen data);
   (* Re-check the stamp once the chunk lock is held: queueing behind
      another mutation takes (simulated) time, and a stamp that lapsed
      in the queue must not reach the disk either. *)
@@ -532,40 +551,38 @@ let write_chunk t ~root ~chunk ~within ~data ~epoch ~expires =
     if expired expires then t.stale_applied <- t.stale_applied + 1
   in
   let vl = versions t (root, chunk) in
-  let whole = Bytes.length data = chunk_bytes && within = 0 in
+  let whole = dlen = chunk_bytes && within = 0 in
   match !vl with
   | { epoch = e; loc = Some (d, off) } :: _ when e = epoch ->
     audit_stamp ();
-    t.disks.(d).Blockdev.Storage.write ~off:(off + within) data
+    t.disks.(d).Blockdev.Storage.write_sub ~off:(off + within) data ~boff:doff
+      ~len:dlen
   | current ->
     (* Fresh extent needed: tombstone at this epoch, older epoch, or
        nothing stored yet. *)
-    let base =
-      if whole then Bytes.make 0 '\000'
-      else
+    if whole then begin
+      let d, off = allocate t in
+      audit_stamp ();
+      (* Whole-chunk write: the payload slice goes straight to storage
+         (the store copies, or aliases an immutable payload). *)
+      t.disks.(d).Blockdev.Storage.write_sub ~off data ~boff:doff ~len:dlen;
+      place_version t vl ~epoch ~ext:(d, off)
+    end
+    else begin
+      let base =
         match select_version current Current with
         | Some { loc = Some (d, off); _ } ->
           t.disks.(d).Blockdev.Storage.read ~off ~len:chunk_bytes
         | Some { loc = None; _ } | None -> Bytes.make chunk_bytes '\000'
-    in
-    let buf = if whole then data else base in
-    if not whole then Bytes.blit data 0 buf within (Bytes.length data);
-    let d, off = allocate t in
-    audit_stamp ();
-    t.disks.(d).Blockdev.Storage.write ~off buf;
-    (* Replace a same-epoch entry (tombstone, or a stale copy being
-       repaired by resync); otherwise insert keeping the list sorted
-       newest-first — a resync push may arrive with an older epoch
-       than our head if a snapshot happened while the peer was down. *)
-    let fresh = { epoch; loc = Some (d, off) } in
-    let rec place = function
-      | v :: rest when v.epoch > epoch -> v :: place rest
-      | v :: rest when v.epoch = epoch ->
-        (match v.loc with Some ext -> free_extent t ext | None -> ());
-        fresh :: rest
-      | rest -> fresh :: rest
-    in
-    vl := place current
+      in
+      Bytes.blit data doff base within dlen;
+      let d, off = allocate t in
+      audit_stamp ();
+      (* [base] is freshly built and never touched again: transfer
+         ownership so an NVRAM front need not copy it. *)
+      t.disks.(d).Blockdev.Storage.write_own ~off base;
+      place_version t vl ~epoch ~ext:(d, off)
+    end
 
 let decommit_chunk t ~root ~chunk ~epoch ~expires =
   Faultpoint.hit "petal.chunk_decommit";
@@ -591,15 +608,16 @@ let decommit_chunk t ~root ~chunk ~epoch ~expires =
 
 (* --- replication ------------------------------------------------------ *)
 
-let forward_write t ~root ~chunk ~within ~data ~epoch ~expires ~stamp =
+let forward_write t ~root ~chunk ~within ~data ~doff ~dlen ~epoch ~expires
+    ~stamp =
   match replica_of t ~root ~chunk ~nrep:(nrep_of_root t root) with
   | None -> ()
   | Some ri -> (
     let peer = t.members.(ri) in
     match
       Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500)
-        ~size:(write_req_size (Bytes.length data))
-        (Repl_req { root; chunk; within; data; epoch; expires; stamp })
+        ~size:(write_req_size dlen)
+        (Repl_req { root; chunk; within; data; doff; dlen; epoch; expires; stamp })
     with
     | Ok Write_ok -> ()
     | Ok _ | Error `Timeout ->
@@ -608,7 +626,7 @@ let forward_write t ~root ~chunk ~within ~data ~epoch ~expires ~stamp =
          own stamp, not the (later) failure time: the repair push must
          not claim to be fresher than the bytes it carries. *)
       Logs.debug (fun m -> m "%s: replica write degraded" (Host.name t.host));
-      mark_degraded t ~peer ~root ~chunk ~within ~len:(Bytes.length data) ~stamp)
+      mark_degraded t ~peer ~root ~chunk ~within ~len:dlen ~stamp)
 
 (* Push the byte ranges of a degraded chunk the lagging replica
    missed; returns true when every range is acknowledged. A chunk
@@ -643,7 +661,8 @@ let push_chunk t ~peer ~root ~chunk ~ranges =
           match
             Rpc.call t.rpc ~dst:peer ~timeout:(Sim.ms 500)
               ~size:(write_req_size (b - a))
-              (Repl_req { root; chunk; within = a; data; epoch; expires = None; stamp = s })
+              (Repl_req { root; chunk; within = a; data; doff = 0;
+                          dlen = b - a; epoch; expires = None; stamp = s })
           with
           | Ok Write_ok ->
             t.xfer_pushes <- t.xfer_pushes + 1;
@@ -913,7 +932,8 @@ let handler t ~src body =
   | Write_req { root; chunk; mepoch; _ } when not (map_ok t ~mepoch ~root ~chunk) ->
     reject_wrong_epoch t
   | Write_req { expires; _ } when expired expires -> reject_stale t
-  | Write_req { root; chunk; within; data; solo; expires; mepoch = _ } -> (
+  | Write_req { root; chunk; within; data; doff; dlen; solo; expires; mepoch = _ }
+    -> (
     let v = vdisk t root in
     let epoch = v.epoch in
     (* The write's freshness stamp, captured before any mutation or
@@ -926,15 +946,14 @@ let handler t ~src body =
        otherwise miss it on both sides — [begin_transfer] enumerates
        the chunk table before the write inserts into it, and a single
        pre-write mark still sees no pending transfer. *)
-    mark_transfer_delta t ~root ~chunk ~within ~len:(Bytes.length data)
-      ~stamp:wstamp;
+    mark_transfer_delta t ~root ~chunk ~within ~len:dlen ~stamp:wstamp;
     (if solo && v.nrep > 1 then begin
        (* Degraded client write: we are the replica; the primary
           missed this update and must be repaired when it returns. *)
        match replica_of t ~root ~chunk ~nrep:v.nrep with
        | Some pi when t.members.(pi) <> Rpc.addr t.rpc ->
          mark_degraded t ~peer:t.members.(pi) ~root ~chunk ~within
-           ~len:(Bytes.length data) ~stamp:wstamp
+           ~len:dlen ~stamp:wstamp
        | Some _ | None -> ()
      end);
     match
@@ -948,24 +967,24 @@ let handler t ~src body =
                ivar regardless — the handler's own raise, not ours,
                reports the crash. *)
             (try
-               forward_write t ~root ~chunk ~within ~data ~epoch ~expires
-                 ~stamp:wstamp
+               forward_write t ~root ~chunk ~within ~data ~doff ~dlen ~epoch
+                 ~expires ~stamp:wstamp
              with Host.Crashed _ -> ());
             Sim.Ivar.fill fwd ());
-        write_chunk t ~root ~chunk ~within ~data ~epoch ~expires;
+        write_chunk t ~root ~chunk ~within ~data ~doff ~dlen ~epoch ~expires;
         Sim.Ivar.read fwd
       end
-      else write_chunk t ~root ~chunk ~within ~data ~epoch ~expires
+      else write_chunk t ~root ~chunk ~within ~data ~doff ~dlen ~epoch ~expires
     with
     | () ->
-      mark_transfer_delta t ~root ~chunk ~within ~len:(Bytes.length data)
-        ~stamp:wstamp;
+      mark_transfer_delta t ~root ~chunk ~within ~len:dlen ~stamp:wstamp;
       Some (Write_ok, small)
     | exception Expired_stamp -> Some (Perr "expired lease timestamp", small))
   | Repl_req { root; chunk; _ } when not (peer_push_ok t ~root ~chunk) ->
     reject_wrong_epoch t
   | Repl_req { expires; _ } when expired expires -> reject_stale t
-  | Repl_req { root; chunk; within; data; epoch; expires; stamp } -> (
+  | Repl_req { root; chunk; within; data; doff; dlen; epoch; expires; stamp }
+    -> (
     (* Peer traffic (forwarded writes, resync and handoff pushes)
        bypasses the epoch equality check: during a transfer it
        legitimately targets future owners the committed map does not
@@ -986,7 +1005,7 @@ let handler t ~src body =
         match Hashtbl.find_opt set (root, chunk) with
         | None -> []
         | Some (segs, _) ->
-          let lo = within and hi = within + Bytes.length data in
+          let lo = within and hi = within + dlen in
           List.filter_map
             (fun (a, b, s) ->
               if s >= stamp && a < hi && lo < b then
@@ -997,16 +1016,17 @@ let handler t ~src body =
     let applies =
       List.fold_left
         (fun acc skip -> List.concat_map (fun r -> range_sub r skip) acc)
-        [ (within, within + Bytes.length data) ]
+        [ (within, within + dlen) ]
         skips
     in
     match
       List.iter
         (fun (a, b) ->
           mark_transfer_delta t ~root ~chunk ~within:a ~len:(b - a) ~stamp;
-          write_chunk t ~root ~chunk ~within:a
-            ~data:(Bytes.sub data (a - within) (b - a))
-            ~epoch ~expires;
+          (* Sub-range apply re-slices the shared payload — offset
+             arithmetic instead of a Bytes.sub per surviving range. *)
+          write_chunk t ~root ~chunk ~within:a ~data
+            ~doff:(doff + (a - within)) ~dlen:(b - a) ~epoch ~expires;
           mark_transfer_delta t ~root ~chunk ~within:a ~len:(b - a) ~stamp)
         applies
     with

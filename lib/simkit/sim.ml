@@ -3,25 +3,35 @@ type time = int
 let ns t = t
 let us t = t * 1_000
 let ms t = t * 1_000_000
-let sec s = int_of_float (s *. 1e9 +. 0.5)
+let sec s = int_of_float ((s *. 1e9) +. 0.5)
 let to_sec t = float_of_int t /. 1e9
 
 exception Deadlock of string
 exception Timed_out
 
+(* An event either runs a plain callback or resumes a sleeping
+   process; storing the continuation directly saves a closure per
+   [sleep], the single most common operation. *)
 type event = {
   at : time;
   seq : int;
   mutable cancelled : bool;
-  run : unit -> unit;
+  kind : kind;
 }
 
+and kind =
+  | Fn of (unit -> unit)
+  | K of (unit, unit) Effect.Deep.continuation
+
 (* Binary min-heap of events ordered by (at, seq); seq breaks ties so
-   same-instant events run in schedule order. *)
+   same-instant events run in schedule order. Sifting moves a hole
+   instead of swapping (one store per level instead of three), with
+   unchecked array access — indices are maintained in-bounds by
+   construction. *)
 module Heap = struct
   type t = { mutable arr : event array; mutable len : int }
 
-  let dummy = { at = 0; seq = 0; cancelled = true; run = ignore }
+  let dummy = { at = 0; seq = 0; cancelled = true; kind = Fn ignore }
   let create () = { arr = Array.make 256 dummy; len = 0 }
 
   let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
@@ -32,84 +42,146 @@ module Heap = struct
       Array.blit h.arr 0 arr 0 h.len;
       h.arr <- arr
     end;
-    h.arr.(h.len) <- ev;
-    h.len <- h.len + 1;
+    let arr = h.arr in
+    let i = h.len in
+    h.len <- i + 1;
     let rec up i =
-      if i > 0 then begin
+      if i = 0 then 0
+      else begin
         let p = (i - 1) / 2 in
-        if less h.arr.(i) h.arr.(p) then begin
-          let t = h.arr.(i) in
-          h.arr.(i) <- h.arr.(p);
-          h.arr.(p) <- t;
+        let pe = Array.unsafe_get arr p in
+        if less ev pe then begin
+          Array.unsafe_set arr i pe;
           up p
         end
+        else i
       end
     in
-    up (h.len - 1)
+    Array.unsafe_set arr (up i) ev
 
+  (* Precondition: len > 0 (the run loop checks). *)
   let pop h =
-    if h.len = 0 then None
-    else begin
-      let top = h.arr.(0) in
-      h.len <- h.len - 1;
-      h.arr.(0) <- h.arr.(h.len);
-      h.arr.(h.len) <- dummy;
+    let arr = h.arr in
+    let top = Array.unsafe_get arr 0 in
+    let n = h.len - 1 in
+    h.len <- n;
+    let last = Array.unsafe_get arr n in
+    Array.unsafe_set arr n dummy;
+    if n > 0 then begin
       let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let m = if l < h.len && less h.arr.(l) h.arr.(i) then l else i in
-        let m = if r < h.len && less h.arr.(r) h.arr.(m) then r else m in
-        if m <> i then begin
-          let t = h.arr.(i) in
-          h.arr.(i) <- h.arr.(m);
-          h.arr.(m) <- t;
-          down m
+        let l = (2 * i) + 1 in
+        if l >= n then i
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < n && less (Array.unsafe_get arr r) (Array.unsafe_get arr l)
+            then r
+            else l
+          in
+          let ce = Array.unsafe_get arr c in
+          if less ce last then begin
+            Array.unsafe_set arr i ce;
+            down c
+          end
+          else i
         end
       in
-      down 0;
-      Some top
-    end
+      Array.unsafe_set arr (down 0) last
+    end;
+    top
 end
+
+type stats = {
+  events : int;  (** events executed (cancelled skips excluded) *)
+  spawns : int;  (** processes started *)
+  skipped : int;  (** lazily-cancelled events discarded at pop *)
+  heap_len : int;  (** events currently pending *)
+}
+
+let zero_stats = { events = 0; spawns = 0; skipped = 0; heap_len = 0 }
 
 type engine = {
   mutable now : time;
   mutable seq : int;
   heap : Heap.t;
   rng : Random.State.t;
+  mutable exec : (unit -> unit) -> unit;
+      (* Start a function as a process (fiber) immediately; installed
+         by [run]. Lets [spawn] and timer fire-paths avoid performing
+         effects, so they also work from event callbacks that run
+         outside any process. *)
+  mutable n_events : int;
+  mutable n_spawns : int;
+  mutable n_skipped : int;
 }
 
 (* The engine currently executing; set only inside [run]. *)
 let current : engine option ref = ref None
+
+(* Counters of the most recently finished [run], so benchmarks can
+   report events/sec after the fact. *)
+let last_stats = ref zero_stats
 
 let engine () =
   match !current with
   | Some e -> e
   | None -> invalid_arg "Sim: blocking operation performed outside Sim.run"
 
-let schedule eng at run =
+let schedule eng at kind =
   eng.seq <- eng.seq + 1;
-  let ev = { at; seq = eng.seq; cancelled = false; run } in
+  let ev = { at; seq = eng.seq; cancelled = false; kind } in
   Heap.push eng.heap ev;
   ev
 
+let mk_stats e =
+  {
+    events = e.n_events;
+    spawns = e.n_spawns;
+    skipped = e.n_skipped;
+    heap_len = e.heap.Heap.len;
+  }
+
+let stats () =
+  match !current with Some e -> mk_stats e | None -> !last_stats
+
 type _ Effect.t +=
   | E_sleep : time -> unit Effect.t
-  | E_spawn : (unit -> unit) -> unit Effect.t
   | E_suspend : (('v -> unit) -> unit) -> 'v Effect.t
 
 let now () = (engine ()).now
 let rng () = (engine ()).rng
 let random_float x = Random.State.float (rng ()) x
+
 let random_int n =
   (* Random.State.int is limited to bounds < 2^30, too small for
      nanosecond durations. *)
   if n <= 0 then 0 else Random.State.full_int (rng ()) n
+
 let sleep d = Effect.perform (E_sleep d)
-let spawn ?name:_ f = Effect.perform (E_spawn f)
 let suspend f = Effect.perform (E_suspend f)
+
+let spawn ?name:_ f =
+  let e = engine () in
+  e.n_spawns <- e.n_spawns + 1;
+  ignore (schedule e e.now (Fn (fun () -> e.exec f)))
+
+let at t f =
+  let e = engine () in
+  let t = if t < e.now then e.now else t in
+  ignore (schedule e t (Fn f))
 
 let run ?(seed = 42) ?until main =
   let eng =
-    { now = 0; seq = 0; heap = Heap.create (); rng = Random.State.make [| seed |] }
+    {
+      now = 0;
+      seq = 0;
+      heap = Heap.create ();
+      rng = Random.State.make [| seed |];
+      exec = (fun _ -> assert false);
+      n_events = 0;
+      n_spawns = 0;
+      n_skipped = 0;
+    }
   in
   let open Effect.Deep in
   let rec exec f = match_with f () handler
@@ -123,12 +195,7 @@ let run ?(seed = 42) ?until main =
           | E_sleep d ->
             Some
               (fun (k : (c, unit) continuation) ->
-                ignore (schedule eng (eng.now + max 0 d) (fun () -> continue k ())))
-          | E_spawn f ->
-            Some
-              (fun (k : (c, unit) continuation) ->
-                ignore (schedule eng eng.now (fun () -> exec f));
-                continue k ())
+                ignore (schedule eng (eng.now + max 0 d) (K k)))
           | E_suspend f ->
             Some
               (fun (k : (c, unit) continuation) ->
@@ -136,38 +203,52 @@ let run ?(seed = 42) ?until main =
                 f (fun v ->
                     if !resumed then invalid_arg "Sim.suspend: resumed twice";
                     resumed := true;
-                    ignore (schedule eng eng.now (fun () -> continue k v))))
+                    ignore
+                      (schedule eng eng.now (Fn (fun () -> continue k v)))))
           | _ -> None);
     }
   in
+  eng.exec <- exec;
   let result = ref None in
-  ignore (schedule eng 0 (fun () -> exec (fun () -> result := Some (main ()))));
+  ignore (schedule eng 0 (Fn (fun () -> exec (fun () -> result := Some (main ())))));
   let saved = !current in
   current := Some eng;
   let finish v =
+    last_stats := mk_stats eng;
     current := saved;
     v
   in
   let bail e =
+    last_stats := mk_stats eng;
     current := saved;
     raise e
   in
   let rec loop () =
     match !result with
     | Some v -> finish v
-    | None -> (
-      match Heap.pop eng.heap with
-      | None -> bail (Deadlock "Sim.run: main process blocked forever")
-      | Some ev ->
-        if ev.cancelled then loop ()
+    | None ->
+      if eng.heap.Heap.len = 0 then
+        bail (Deadlock "Sim.run: main process blocked forever")
+      else begin
+        let ev = Heap.pop eng.heap in
+        if ev.cancelled then begin
+          eng.n_skipped <- eng.n_skipped + 1;
+          loop ()
+        end
         else begin
           (match until with
           | Some u when ev.at > u -> bail Timed_out
           | _ -> ());
           eng.now <- ev.at;
-          (try ev.run () with e -> bail e);
+          eng.n_events <- eng.n_events + 1;
+          (try
+             match ev.kind with
+             | Fn f -> f ()
+             | K k -> continue k ()
+           with e -> bail e);
           loop ()
-        end)
+        end
+      end
   in
   loop ()
 
@@ -222,12 +303,13 @@ module Resource = struct
     mutable busy : int; (* integral of in_use over time since reset *)
     mutable last_change : time;
     mutable reset_at : time;
+    mutable free_at : time; (* head-of-line completion time, for [reserve] *)
   }
 
   let create ?(capacity = 1) rname =
     if capacity < 1 then invalid_arg "Resource.create: capacity < 1";
     { rname; capacity; in_use = 0; waiters = Queue.create (); busy = 0;
-      last_change = 0; reset_at = 0 }
+      last_change = 0; reset_at = 0; free_at = 0 }
 
   let name t = t.rname
 
@@ -243,6 +325,14 @@ module Resource = struct
     end
     else suspend (fun resume -> Queue.push (fun () -> resume ()) t.waiters)
 
+  let acquire_cb t k =
+    if t.in_use < t.capacity then begin
+      account t;
+      t.in_use <- t.in_use + 1;
+      k ()
+    end
+    else Queue.push k t.waiters
+
   let release t =
     if t.in_use <= 0 then invalid_arg "Resource.release: not acquired";
     match Queue.take_opt t.waiters with
@@ -255,6 +345,14 @@ module Resource = struct
     acquire t;
     sleep d;
     release t
+
+  let reserve t d =
+    let n = now () in
+    let start = if t.free_at > n then t.free_at else n in
+    let fin = start + max 0 d in
+    t.free_at <- fin;
+    t.busy <- t.busy + max 0 d;
+    fin
 
   let reset_stats t =
     t.busy <- 0;
@@ -285,18 +383,23 @@ module Condition = struct
 end
 
 module Timer = struct
-  type t = { mutable fired : bool; mutable cancelled : bool }
+  type t = { mutable ev : event; mutable fired : bool }
 
+  (* One heap event per timer, no fiber until it actually fires;
+     cancellation just flags the event, which the run loop discards
+     when its instant arrives (lazy cancel). *)
   let after d f =
-    let t = { fired = false; cancelled = false } in
-    spawn (fun () ->
-        sleep d;
-        if not t.cancelled then begin
-          t.fired <- true;
-          f ()
-        end);
+    let e = engine () in
+    let t = { ev = Heap.dummy; fired = false } in
+    t.ev <-
+      schedule e
+        (e.now + max 0 d)
+        (Fn
+           (fun () ->
+             t.fired <- true;
+             e.exec f));
     t
 
-  let cancel t = t.cancelled <- true
-  let is_pending t = (not t.fired) && not t.cancelled
+  let cancel t = t.ev.cancelled <- true
+  let is_pending t = (not t.fired) && not t.ev.cancelled
 end

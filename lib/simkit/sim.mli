@@ -45,7 +45,18 @@ val sleep : time -> unit
 val spawn : ?name:string -> (unit -> unit) -> unit
 (** Start a new process at the current instant. The spawner continues
     immediately; the child runs when the scheduler next picks it. An
-    exception escaping a process aborts the whole simulation. *)
+    exception escaping a process aborts the whole simulation. Unlike
+    blocking operations, [spawn] may also be called from event
+    callbacks running outside any process ({!at}, timer bodies are
+    started through it internally). *)
+
+val at : time -> (unit -> unit) -> unit
+(** [at t f] schedules callback [f] at absolute instant [t] (clamped
+    to now if in the past). [f] runs {e outside any process} and must
+    not block — it may spawn, send, fill ivars, or schedule further
+    callbacks. This is the allocation-lean alternative to
+    [spawn (fun () -> sleep (t - now ()); f ())]: one heap event, no
+    fiber. *)
 
 val suspend : (('a -> unit) -> unit) -> 'a
 (** [suspend f] blocks the calling process and hands [f] a resumer
@@ -63,6 +74,19 @@ val rng : unit -> Random.State.t
 
 val random_float : float -> float
 val random_int : int -> int
+
+type stats = {
+  events : int;  (** events executed (cancelled skips excluded) *)
+  spawns : int;  (** processes started *)
+  skipped : int;  (** lazily-cancelled events discarded at pop *)
+  heap_len : int;  (** events currently pending *)
+}
+
+val stats : unit -> stats
+(** Kernel counters: inside {!run}, the live counters of the current
+    engine; outside, those of the most recently finished run. The
+    [events] count divided by host wall-clock time is the simulator's
+    events/sec — the capacity metric the scale experiments gate on. *)
 
 (** Write-once synchronisation variable. *)
 module Ivar : sig
@@ -108,10 +132,30 @@ module Resource : sig
   val acquire : t -> unit
   (** Block until one of the servers is free, then occupy it. *)
 
+  val acquire_cb : t -> (unit -> unit) -> unit
+  (** Callback-style acquire: run [k] as soon as a server is free —
+      synchronously if one is free now, otherwise from the releasing
+      context when this waiter reaches the head of the FIFO queue.
+      [k] must not block (it may spawn). Pairs with {!release} exactly
+      like {!acquire}; used by event-chain code that has no process of
+      its own. *)
+
   val release : t -> unit
 
   val use : t -> time -> unit
   (** [use r d] = acquire, hold for [d] simulated time, release. *)
+
+  val reserve : t -> time -> time
+  (** [reserve r d] models FIFO store-and-forward occupancy without a
+      waiting process: the work starts when the resource frees up
+      ([max now free_at]), holds it for [d], and the new completion
+      instant is returned (and becomes the next caller's earliest
+      start). O(1), no queue, no suspension — the caller chains an
+      {!at} callback on the returned instant. Busy-time accounting is
+      credited immediately, so {!utilization} stays meaningful, but a
+      resource must not mix [reserve] with [acquire]/[use]: the two
+      disciplines do not see each other's occupancy. Capacity is
+      treated as 1 pipe. *)
 
   val name : t -> string
 

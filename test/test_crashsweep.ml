@@ -26,6 +26,26 @@ let test_counting_run_deterministic () =
   Alcotest.(check bool) "per-site counts are deterministic" true
     (o.Sweep.sites = o'.Sweep.sites)
 
+(* Replay-drift guard for the zero-copy data path: RPC payloads are
+   now shared slices and ownership-transfer writes may alias the
+   sender's buffer, so any accidental mutation-after-send would show
+   up as schedule divergence between two runs of the same seed. The
+   guard demands not just an equal outcome record but a bit-identical
+   event trace, proxied by the engine's exact event/spawn/skip
+   counters — one stray event and they differ. *)
+let test_replay_drift_guard () =
+  let n = (Sweep.run ()).Sweep.total_hits in
+  let observe () =
+    let o = Sweep.run ~crash_at:(n / 2) () in
+    (o, Sim.stats ())
+  in
+  let o1, s1 = observe () in
+  let o2, s2 = observe () in
+  Alcotest.(check bool) "outcome record identical" true (o1 = o2);
+  Alcotest.(check bool) "event trace identical (events/spawns/skips)" true
+    (s1 = s2);
+  check_clean "mid-schedule crash case is clean" o1
+
 let test_quick_sweep () =
   let n = (Sweep.run ()).Sweep.total_hits in
   (* Eight crash points spread across the whole schedule; the full
@@ -150,6 +170,8 @@ let () =
         [
           Alcotest.test_case "counting run, determinism" `Quick
             test_counting_run_deterministic;
+          Alcotest.test_case "replay-drift guard" `Quick
+            test_replay_drift_guard;
           Alcotest.test_case "strided crash sweep" `Quick test_quick_sweep;
           Alcotest.test_case "strided crash sweep, nvram" `Quick
             test_quick_sweep_nvram;
