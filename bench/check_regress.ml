@@ -35,6 +35,11 @@ let gates =
       [ ("fs_ops_per_sec", Higher, 0.20); ("events_per_sec", Higher, 0.90) ] );
   ]
 
+(* Metrics a PR's tentpole specifically optimised: the new value must
+   be at least the old one — any drop fails, no tolerance. Missing in
+   either file is skipped (per-metric allow-missing, as above). *)
+let must_improve = [ "workloads/largefile_write_16mb throughput_mb_per_s" ]
+
 let contains line sub =
   let n = String.length line and m = String.length sub in
   let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
@@ -181,12 +186,14 @@ let () =
           | Higher -> new_v < old_v *. (1. -. tol)
           | Lower -> new_v > old_v *. (1. +. tol)
         in
-        if bad then failed := true;
-        Printf.printf "  %-44s %10.1f -> %10.1f  %+7.1f%% (tol %s%.0f%%)%s\n" id
-          old_v new_v delta
+        let below_floor = List.mem id must_improve && new_v < old_v in
+        if bad || below_floor then failed := true;
+        Printf.printf "  %-44s %10.1f -> %10.1f  %+7.1f%% (tol %s%.0f%%)%s%s\n"
+          id old_v new_v delta
           (match d with Higher -> "-" | Lower -> "+")
           (tol *. 100.)
-          (if bad then "  REGRESSION" else ""))
+          (if bad then "  REGRESSION" else "")
+          (if below_floor then "  BELOW MUST-IMPROVE FLOOR" else ""))
     prev;
   List.iter
     (fun (id, new_v, _, _) ->

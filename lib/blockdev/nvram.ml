@@ -6,7 +6,6 @@ type state = {
   write_latency : Sim.time;
   bytes_per_sec : int;
   table : (int, bytes) Hashtbl.t; (* pending writes, keyed by offset *)
-  order : int Queue.t;
   mutable used : int;
   space_freed : Sim.Condition.t;
   work : Sim.Condition.t;
@@ -15,27 +14,60 @@ type state = {
 
 let overlaps ~off ~len (o, b) = o < off + len && off < o + Bytes.length b
 
+(* Destage batches issued across all NVRAM instances (counting one
+   per coalesced disk write), for the bench's counter report. *)
+let destage_batch_count = ref 0
+let destage_batches () = !destage_batch_count
+
+(* The destager is an elevator: each sweep snapshots the pending
+   table, sorts it by disk address and coalesces adjacent entries
+   into one disk write per contiguous batch — one seek per batch
+   instead of one per entry, and the disk sees a monotone address
+   sequence within a sweep (SCAN order). Entries overwritten while
+   their batch was in flight stay pending for the next sweep. *)
 let destager st () =
   let rec loop () =
-    match Queue.take_opt st.order with
-    | None ->
+    if Hashtbl.length st.table = 0 then begin
       Sim.Condition.wait st.work;
       loop ()
-    | Some off ->
-      (match Hashtbl.find_opt st.table off with
-      | None -> () (* superseded by a newer write at the same offset *)
-      | Some data ->
-        Disk.write st.disk ~off data;
-        Faultpoint.hit "nvram.destage";
-        (* Only drop the entry if it was not overwritten while the
-           disk write was in flight. *)
-        (match Hashtbl.find_opt st.table off with
-        | Some d when d == data ->
-          Hashtbl.remove st.table off;
-          st.used <- st.used - Bytes.length data;
-          Sim.Condition.broadcast st.space_freed
-        | Some _ | None -> ()));
+    end
+    else begin
+      let entries =
+        Hashtbl.fold (fun o b acc -> (o, b) :: acc) st.table []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let batches =
+        List.fold_left
+          (fun acc (o, b) ->
+            match acc with
+            | (start, stop, bufs) :: rest when stop = o ->
+              (start, stop + Bytes.length b, b :: bufs) :: rest
+            | _ -> (o, o + Bytes.length b, [ b ]) :: acc)
+          [] entries
+        |> List.rev_map (fun (start, _, bufs) -> (start, List.rev bufs))
+      in
+      List.iter
+        (fun (start, bufs) ->
+          Disk.write st.disk ~off:start (Bytes.concat Bytes.empty bufs);
+          incr destage_batch_count;
+          Faultpoint.hit "nvram.destage";
+          (* Only drop entries that were not overwritten while the
+             batch write was in flight. *)
+          let pos = ref start in
+          List.iter
+            (fun b ->
+              let o = !pos in
+              pos := o + Bytes.length b;
+              match Hashtbl.find_opt st.table o with
+              | Some d when d == b ->
+                Hashtbl.remove st.table o;
+                st.used <- st.used - Bytes.length b;
+                Sim.Condition.broadcast st.space_freed
+              | Some _ | None -> ())
+            bufs)
+        batches;
       loop ()
+    end
   in
   loop ()
 
@@ -62,7 +94,6 @@ let write_own st ~off data =
   | None -> ());
   Hashtbl.replace st.table off data;
   st.used <- st.used + len;
-  Queue.push off st.order;
   Sim.Condition.broadcast st.work;
   Faultpoint.hit "nvram.write"
 
@@ -110,7 +141,6 @@ let wrap ?(capacity = 8 * 1024 * 1024) ?(write_latency = Sim.us 50)
       write_latency;
       bytes_per_sec;
       table = Hashtbl.create 256;
-      order = Queue.create ();
       used = 0;
       space_freed = Sim.Condition.create ();
       work = Sim.Condition.create ();

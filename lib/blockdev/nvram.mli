@@ -7,7 +7,16 @@
 
     The default capacity is the 8 MB of the paper's PrestoServe
     cards; when the buffer is full, writers block until destaging
-    frees space. *)
+    frees space.
+
+    Destaging is an elevator: each sweep sorts the pending entries by
+    disk address and coalesces adjacent ones into a single disk write
+    per contiguous batch, so a burst of scattered writes costs one
+    seek per contiguous region instead of one per entry. *)
+
+val destage_batches : unit -> int
+(** Coalesced destage disk writes issued so far, across all NVRAM
+    instances (a monotone counter for the bench report). *)
 
 val wrap :
   ?capacity:int ->

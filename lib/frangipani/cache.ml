@@ -192,7 +192,8 @@ let present t addr = Hashtbl.mem t.tbl addr || Hashtbl.mem t.inflight addr
    bytes each — the batched miss path of a scatter-gather read.
    Granules already cached or being fetched elsewhere are skipped;
    readers of those wait on the other fetch through {!entry}. *)
-let fill_runs t runs ~granule =
+let fill_runs ?(prefetch = false) ?(still_wanted = fun () -> true) t runs
+    ~granule =
   (* Granules already cached (or being fetched) are hits of the
      read-ahead; misses are counted below, per entry this fetch
      actually fills — a failed read counts nothing, and granules
@@ -229,17 +230,21 @@ let fill_runs t runs ~granule =
     let datas =
       try
         Petal.Client.await
-          (Petal.Client.read_runs_async t.vd
+          (Petal.Client.read_runs_async ~prefetch t.vd
              (List.map (fun (_, addr, len, _) -> (addr, len)) prepared))
       with ex ->
         finish ();
         raise ex
     in
+    (* A cancelled prefetch (its lock was revoked mid-fetch) must not
+       insert: the data may be stale by now. Waiters parked on the
+       inflight ivars re-check the table and fetch for themselves. *)
+    let insert = still_wanted () in
     List.iter2
       (fun (lock, addr, _, wanted) data ->
         List.iter
           (fun a ->
-            if not (Hashtbl.mem t.tbl a) then begin
+            if insert && not (Hashtbl.mem t.tbl a) then begin
               let e =
                 { addr = a; data = Bytes.sub data (a - addr) granule; dirty = false;
                   gen = 0; rid = 0; pins = 0; flushing = false; lock }
@@ -279,43 +284,42 @@ let group_runs dirty =
     [] dirty
   |> List.rev_map List.rev
 
-(* Submit one async Petal write per run, then wait for every
-   completion. As each run lands, entries whose generation is
-   unchanged become clean; [on_run_done] runs per landed run (even on
-   failure). The first failure is re-raised after all runs settle. If
-   submission itself raises (e.g. the host died), [on_run_done] still
-   runs for the never-submitted runs so their entries are not left
-   marked in-flight forever. *)
+(* Submit all runs as ONE scatter-gather Petal write (the client
+   coalesces adjacent same-chunk pieces across run boundaries), then
+   wait for it. Once the batch lands, entries whose generation is
+   unchanged become clean; [on_run_done] runs per run (even on
+   failure). If submission itself raises (e.g. the host died),
+   [on_run_done] still runs for every run so their entries are not
+   left marked in-flight forever. *)
 let write_runs t runs ~on_run_done =
-  let pending = ref (List.length runs) in
-  let all = Sim.Ivar.create () in
-  let failed = ref None in
-  let finish_run run =
-    on_run_done run;
-    decr pending;
-    if !pending = 0 then Sim.Ivar.fill all ()
-  in
-  let rec submit = function
-    | [] -> ()
-    | run :: rest -> (
-      Faultpoint.hit "cache.write_run";
-      let gens = List.map (fun e -> (e, e.gen)) run in
-      let data = Bytes.concat Bytes.empty (List.map (fun e -> e.data) run) in
-      match Petal.Client.write_async t.vd ~off:(List.hd run).addr data with
-      | h ->
-        Sim.spawn (fun () ->
-            (match Petal.Client.wait h with
-            | Ok () -> List.iter (fun (e, g) -> if e.gen = g then mark_clean t e) gens
-            | Error ex -> if !failed = None then failed := Some ex);
-            finish_run run);
-        submit rest
-      | exception ex ->
-        List.iter finish_run (run :: rest);
+  if runs <> [] then begin
+    List.iter (fun _ -> Faultpoint.hit "cache.write_run") runs;
+    let gens =
+      List.map (fun run -> List.map (fun e -> (e, e.gen)) run) runs
+    in
+    let extents =
+      List.map
+        (fun run ->
+          ( (List.hd run).addr,
+            Bytes.concat Bytes.empty (List.map (fun e -> e.data) run) ))
+        runs
+    in
+    let finish () = List.iter on_run_done runs in
+    match Petal.Client.write_runs_async t.vd extents with
+    | h -> (
+      match Petal.Client.wait h with
+      | Ok () ->
+        List.iter
+          (List.iter (fun (e, g) -> if e.gen = g then mark_clean t e))
+          gens;
+        finish ()
+      | Error ex ->
+        finish ();
         raise ex)
-  in
-  submit runs;
-  if runs <> [] then Sim.Ivar.read all;
-  match !failed with Some ex -> raise ex | None -> ()
+    | exception ex ->
+      finish ();
+      raise ex
+  end
 
 let flush_entries t entries =
   let candidates =
@@ -410,7 +414,12 @@ let dirty_count t = t.ndirty
 
 (* Background write-behind: once enough data is dirty, drain it to
    Petal concurrently with the writer, like the kernel's update/
-   bdflush pair. Failures leave the data dirty for the next sync. *)
+   bdflush pair. The drainer runs an elevator loop — each sweep
+   snapshots the dirty set (flush_entries sorts it by address and
+   coalesces adjacent runs) — and keeps sweeping while the writer
+   stays ahead of it, so a streaming write overlaps its entire drain
+   instead of leaving everything after the first sweep's snapshot to
+   the final sync. Failures leave the data dirty for the next sync. *)
 let maybe_writeback t =
   if (not t.wb_running) && t.ndirty >= writeback_threshold then begin
     t.wb_running <- true;
@@ -418,7 +427,15 @@ let maybe_writeback t =
         Fun.protect
           ~finally:(fun () -> t.wb_running <- false)
           (fun () ->
-            try flush_entries t (Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [])
+            try
+              let continue = ref true in
+              while !continue && t.ndirty >= writeback_threshold / 2 do
+                let before = t.ndirty in
+                flush_entries t (Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []);
+                (* No progress (everything left is pinned or being
+                   flushed elsewhere): stop rather than spin. *)
+                if t.ndirty >= before then continue := false
+              done
             with _ -> ()))
   end
 let stats t = (t.hits, t.misses)

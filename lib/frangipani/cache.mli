@@ -62,12 +62,23 @@ val present : t -> int -> bool
 (** Is this address cached or already being fetched? (What a
     prefetch would skip — used to size read-ahead windows.) *)
 
-val fill_runs : t -> (int * int * int) list -> granule:int -> unit
+val fill_runs :
+  ?prefetch:bool ->
+  ?still_wanted:(unit -> bool) ->
+  t ->
+  (int * int * int) list ->
+  granule:int ->
+  unit
 (** Fetch several [(lock, addr, len)] miss runs with one Petal
     submission (pieces of every run fan out concurrently; adjacent
     pieces in one chunk coalesce into one RPC) and populate clean
     entries of [granule] bytes — the batched scatter-gather read
-    path. *)
+    path. [prefetch:true] draws the pieces from the Petal client's
+    separate (smaller) speculative pool. [still_wanted] is consulted
+    when the data arrives: if it answers false (a cancelled
+    read-ahead — its lock was revoked mid-fetch) nothing is inserted,
+    and readers already waiting on the fetch re-issue it
+    themselves. *)
 
 val fill_range : t -> lock:int -> addr:int -> len:int -> granule:int -> unit
 (** Fetch a contiguous range with a single Petal read and populate

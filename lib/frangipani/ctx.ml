@@ -6,6 +6,9 @@ open Simkit
 type config = {
   sync_interval : Sim.time;  (** the Unix update-demon period (§4) *)
   synchronous_log : bool;  (** flush the log on every metadata op (§4 option) *)
+  log_bytes : int;
+      (** per-server circular log size; a cluster-wide constant so
+          recovery can scan a dead server's slot (default 128 KB, §4) *)
   read_ahead : int;  (** prefetch depth in 4 KB blocks; 0 disables *)
   read_ahead_serial : bool;
       (** ablation: issue the prefetch window one 64 KB cluster at a
@@ -20,6 +23,7 @@ let default_config =
   {
     sync_interval = Sim.sec 30.0;
     synchronous_log = false;
+    log_bytes = Layout.log_bytes;
     (* A 512 KB window of sequential prefetch, submitted as one
        batched scatter-gather fetch that overlaps the foreground
        read — deep enough to hide Petal latency at full link rate;
@@ -56,6 +60,9 @@ type t = {
       (** insertion order of [read_ahead_next] keys, for eviction *)
   prefetch_inflight : (int, int) Hashtbl.t;
       (** inum -> bytes of prefetch currently in flight (capped) *)
+  prefetch_holds : (int, bool ref list) Hashtbl.t;
+      (** lock -> cancellation flags of in-flight prefetches holding
+          it in R — what a contended revoke sheds *)
 }
 
 let check_usable t =
@@ -124,6 +131,31 @@ let prefetch_discharge t inum bytes =
   match Hashtbl.find_opt t.prefetch_inflight inum with
   | Some v when v > bytes -> Hashtbl.replace t.prefetch_inflight inum (v - bytes)
   | _ -> Hashtbl.remove t.prefetch_inflight inum
+
+(* Registry of speculative R holds, keyed by the lock each in-flight
+   prefetch inherited. A contended revoke sheds every hold under the
+   lock ([prefetch_holds_shed]); a completing prefetch takes its own
+   entry back ([prefetch_hold_take]) — whoever gets the entry out of
+   the table does the lock release, so it happens exactly once. *)
+let prefetch_hold_register t ~lock c =
+  Hashtbl.replace t.prefetch_holds lock
+    (c :: Option.value ~default:[] (Hashtbl.find_opt t.prefetch_holds lock))
+
+let prefetch_hold_take t ~lock c =
+  match Hashtbl.find_opt t.prefetch_holds lock with
+  | Some cs when List.memq c cs ->
+    (match List.filter (fun x -> not (x == c)) cs with
+    | [] -> Hashtbl.remove t.prefetch_holds lock
+    | rest -> Hashtbl.replace t.prefetch_holds lock rest);
+    true
+  | Some _ | None -> false
+
+let prefetch_holds_shed t ~lock =
+  match Hashtbl.find_opt t.prefetch_holds lock with
+  | None -> []
+  | Some cs ->
+    Hashtbl.remove t.prefetch_holds lock;
+    cs
 
 (** The data lock covering a given data block of a file: the whole
     file's lock normally, a per-block lock in the ablation mode. *)

@@ -86,7 +86,8 @@ let missing_blocks ctx (ino : Ondisk.inode) boffs =
    small/large-block address discontinuity split runs naturally) and
    submit every run through one batched scatter-gather fetch — or,
    for the UFS-style read-ahead ablation, one run at a time. *)
-let fetch_blocks ?(serial = false) ctx inum (ino : Ondisk.inode) boffs =
+let fetch_blocks ?(serial = false) ?prefetch ?still_wanted ctx inum
+    (ino : Ondisk.inode) boffs =
   let missing =
     List.filter_map (fun boff -> block_addr ino ~boff) boffs
     |> List.filter (fun addr -> not (Cache.present ctx.Ctx.cache addr))
@@ -112,7 +113,7 @@ let fetch_blocks ?(serial = false) ctx inum (ino : Ondisk.inode) boffs =
           ~addr ~len ~granule:Layout.block)
       runs
   | runs ->
-    Cache.fill_runs ctx.Ctx.cache
+    Cache.fill_runs ?prefetch ?still_wanted ctx.Ctx.cache
       (List.map
          (fun (addr, len) -> (Ctx.data_lock ctx ~inum ~addr, addr, len))
          runs)

@@ -24,6 +24,7 @@ exception Retry
 let host (ctx : t) = ctx.Ctx.host
 let log_slot (ctx : t) = ctx.Ctx.slot
 let cache_stats (ctx : t) = Cache.stats ctx.Ctx.cache
+let wal_stats (ctx : t) = Wal.stats ctx.Ctx.wal
 let petal_stats (ctx : t) = Petal.Client.op_stats ctx.Ctx.vd
 let net_stats (ctx : t) = Cluster.Rpc.stats ctx.Ctx.rpc
 let lease_stats (ctx : t) = Clerk.stats ctx.Ctx.clerk
@@ -358,26 +359,40 @@ let reg_inode ctx inum =
 
 (* Read-ahead (§9.2): the prefetch inherits the caller's shared hold
    on the file lock and releases it when the fetch completes, like a
-   kernel read-ahead keeping the buffers busy. This is what makes the
-   Figure 8 anomaly real: a revoke must wait for the prefetch, and
-   the prefetched data is then discarded — pure wasted work.
+   kernel read-ahead keeping the buffers busy. The paper's Figure 8
+   anomaly — a revoke serialised behind a prefetch whose data is then
+   discarded anyway — is fixed by cancellation rather than ablation:
+   the hold is registered as sheddable, and when a revoke arrives
+   while the fetch is in flight the clerk's [on_contended] callback
+   releases it immediately and flags the fetch cancelled, so its data
+   (possibly stale by landing time) is simply not inserted.
 
    [boffs] are the blocks actually worth fetching (mapped, uncached,
    within the per-inode in-flight budget); their bytes were charged by
    the caller and are discharged here when the batch lands, however it
    lands. The whole window goes down as one batched submission unless
-   the serial ablation is on. *)
+   the serial ablation is on, drawing on the Petal client's separate
+   speculative in-flight pool so it never crowds out foreground reads
+   or dirty write-back. *)
 let read_ahead_holding_lock ctx inum ino boffs =
   let bytes = List.length boffs * Layout.block in
+  let lock = ilock inum in
+  let cancelled = ref false in
+  Ctx.prefetch_hold_register ctx ~lock cancelled;
   Sim.spawn (fun () ->
       Fun.protect
         ~finally:(fun () ->
           Ctx.prefetch_discharge ctx inum bytes;
-          Clerk.release ctx.Ctx.clerk ~lock:(ilock inum) Types.R)
+          (* Whoever removes the registry entry owns the release; a
+             contended revoke may already have shed our hold. *)
+          if Ctx.prefetch_hold_take ctx ~lock cancelled then
+            Clerk.release ctx.Ctx.clerk ~lock Types.R)
         (fun () ->
           try
-            File.fetch_blocks ~serial:ctx.Ctx.config.read_ahead_serial ctx inum
-              ino boffs
+            File.fetch_blocks ~serial:ctx.Ctx.config.read_ahead_serial
+              ~prefetch:true
+              ~still_wanted:(fun () -> not !cancelled)
+              ctx inum ino boffs
           with
           | Error _ | Types.Lease_expired | Cluster.Host.Crashed _
           | Petal.Protocol.Unavailable _
@@ -528,7 +543,10 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
   let slot = Clerk.lease clerk mod Layout.max_servers in
   let poisoned_ref = ref false in
   let lease_ok () = Clerk.check_lease_margin clerk && not !poisoned_ref in
-  let wal = Wal.create ~vd ~slot ~synchronous:config.Ctx.synchronous_log ~lease_ok in
+  let wal =
+    Wal.create ~log_bytes:config.Ctx.log_bytes ~vd ~slot
+      ~synchronous:config.Ctx.synchronous_log ~lease_ok ()
+  in
   let cache = Cache.create ~vd ~wal ~lease_ok in
   Wal.set_reclaim_hook wal (fun ~upto_rid -> Cache.flush_upto_rid cache upto_rid);
   let ctx =
@@ -552,9 +570,20 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
       read_ahead_next = Hashtbl.create 64;
       read_ahead_order = Queue.create ();
       prefetch_inflight = Hashtbl.create 64;
+      prefetch_holds = Hashtbl.create 16;
     }
   in
   Clerk.set_callbacks clerk
+    ~on_contended:(fun ~lock ->
+      (* A revoke is blocked on local users: shed any speculative
+         read-ahead holds on this lock so the remote waiter is not
+         serialised behind a prefetch (whose data would be discarded
+         by the revoke anyway). *)
+      List.iter
+        (fun c ->
+          c := true;
+          Clerk.release clerk ~lock Types.R)
+        (Ctx.prefetch_holds_shed ctx ~lock))
     ~on_revoke:(fun ~lock ~to_read -> on_revoke ctx ~lock ~to_read)
     ~on_do_recovery:(fun ~dead_lease -> Recovery.run ctx ~dead_lease)
     ~on_expired:(fun () ->
@@ -568,12 +597,12 @@ let mount ~host ~rpc ~vd ~lock_servers ?(table = "fs0") ?(config = Ctx.default_c
     (* Own the private log (held for the life of the mount) and start
        it empty (§7: a restarted server begins with an empty log). *)
     Clerk.acquire clerk ~lock:(Lockns.log_lock slot) Types.W;
-    let zeros = Bytes.make (Layout.log_bytes / 2) '\000' in
+    let zeros = Bytes.make (config.Ctx.log_bytes / 2) '\000' in
     List.iter Petal.Client.await
       [
         Petal.Client.write_async vd ~off:(Layout.log_addr ~slot) zeros;
         Petal.Client.write_async vd
-          ~off:(Layout.log_addr ~slot + (Layout.log_bytes / 2))
+          ~off:(Layout.log_addr ~slot + (config.Ctx.log_bytes / 2))
           zeros;
       ]
   end;

@@ -105,6 +105,10 @@ val host : t -> Cluster.Host.t
 val log_slot : t -> int
 val cache_stats : t -> int * int
 
+val wal_stats : t -> Wal.wal_stats
+(** This server's log-flush pipeline counters (groups, overlaps,
+    log-pressure stalls, reclaim rounds) — the bench's wal section. *)
+
 val petal_stats : t -> Petal.Client.stats
 (** This server's Petal driver counters (op counts, simulated time,
     read piece/coalesce accounting) — lets tests assert a cold

@@ -5,11 +5,47 @@ type diff = { addr : int; doff : int; data : bytes; version : int }
 
 let payload_cap = 496 (* 512 - 8 lsn - 2 first_rec - 2 len - 4 crc *)
 
+(* The flush pipeline has two stages. The *format* stage packs pending
+   records into 512-byte sector images (grouped into bounded "groups"
+   of sectors); the *submit* stage stamps LSNs and CRCs, reclaims log
+   space ahead of the write cursor, and writes each group to Petal in
+   strict order. Formatting a new group overlaps the in-flight
+   submission of an earlier one; at most [max_queued_groups] formatted
+   groups wait behind the submitter.
+
+   LSNs are assigned at submission, not at formatting: a failed
+   submission puts its records back and the retry reuses the same LSN
+   range, so the on-disk LSN sequence never develops a gap — recovery
+   replays the maximal run of consecutive LSNs ending at the highest
+   one, and a gap would silently cut durable records out of the
+   replay window. *)
+type group = {
+  g_records : (int * bytes) list;
+      (* the (rid, record) pairs whose last byte lands in this group —
+         what must be requeued if the group's submission fails *)
+  g_sectors : bytes list;
+      (* formatted sector images, LSN and CRC fields still zero *)
+  g_rids : int list;
+      (* per sector: the highest rid wholly contained once that sector
+         is durable (0 if no record ends in it) *)
+}
+
+type wal_stats = {
+  flush_groups : int;  (** groups submitted to Petal *)
+  pipeline_overlaps : int;  (** groups formatted while another was in flight *)
+  log_pressure_stalls : int;  (** submissions that had to reclaim before overwriting *)
+  reclaim_rounds : int;  (** reclaim invocations (stalled + proactive) *)
+  append_stalls : int;  (** synchronous appends that waited on the pipeline *)
+  ensure_stalls : int;  (** ensure_flushed calls that waited on the pipeline *)
+}
+
 type t = {
   vd : Petal.Client.vdisk;
   slot : int;
   synchronous : bool;
   lease_ok : unit -> bool;
+  log_bytes : int;
+  log_sectors : int;
   mutable reclaim : upto_rid:int -> unit;
   mutable next_rid : int;
   mutable flushed_rid : int; (* records <= this are durable *)
@@ -18,16 +54,40 @@ type t = {
   mutable rid_at_lsn : (int * int) list; (* (lsn, last rid fully contained) newest first *)
   mutable pending : (int * bytes) list; (* (rid, serialized record) newest first *)
   mutable pending_bytes : int;
-  mutable flushing : bool;
+  mutable queued : group list; (* formatted groups awaiting submission, oldest first *)
+  mutable submitting : bool; (* the single submitter is draining [queued] *)
   flush_done : Sim.Condition.t;
+  mutable s_flush_groups : int;
+  mutable s_overlaps : int;
+  mutable s_pressure : int;
+  mutable s_reclaims : int;
+  mutable s_append_stalls : int;
+  mutable s_ensure_stalls : int;
 }
 
-let create ~vd ~slot ~synchronous ~lease_ok =
+(* Sectors per group: the pipeline's stage unit, and the granularity
+   at which the submitter reclaims ahead of the write cursor. Must
+   stay well below the smallest log's sector count. *)
+let group_sector_cap = 64
+
+(* Bounded pipeline depth: with a submitter active and this many
+   groups already formatted, further formatting waits for a group to
+   land (or, on the asynchronous append path, simply stays pending). *)
+let max_queued_groups = 4
+
+let create ?(log_bytes = Layout.log_bytes) ~vd ~slot ~synchronous ~lease_ok () =
+  if
+    log_bytes < Layout.log_bytes
+    || log_bytes mod Layout.sector <> 0
+    || log_bytes > Layout.log_slot_spacing
+  then invalid_arg "wal: bad log size";
   {
     vd;
     slot;
     synchronous;
     lease_ok;
+    log_bytes;
+    log_sectors = log_bytes / Layout.sector;
     reclaim = (fun ~upto_rid:_ -> ());
     next_rid = 0;
     flushed_rid = 0;
@@ -36,12 +96,30 @@ let create ~vd ~slot ~synchronous ~lease_ok =
     rid_at_lsn = [];
     pending = [];
     pending_bytes = 0;
-    flushing = false;
+    queued = [];
+    submitting = false;
     flush_done = Sim.Condition.create ();
+    s_flush_groups = 0;
+    s_overlaps = 0;
+    s_pressure = 0;
+    s_reclaims = 0;
+    s_append_stalls = 0;
+    s_ensure_stalls = 0;
   }
 
 let set_reclaim_hook t f = t.reclaim <- f
 let last_rid t = t.next_rid
+let log_size t = t.log_bytes
+
+let stats t =
+  {
+    flush_groups = t.s_flush_groups;
+    pipeline_overlaps = t.s_overlaps;
+    log_pressure_stalls = t.s_pressure;
+    reclaim_rounds = t.s_reclaims;
+    append_stalls = t.s_append_stalls;
+    ensure_stalls = t.s_ensure_stalls;
+  }
 
 let serialize_record diffs =
   let w = Codec.W.create ~size:128 () in
@@ -64,150 +142,269 @@ let serialize_record diffs =
 
 let serialize_for_bench = serialize_record
 
-let sector_addr t lsn = Layout.log_addr ~slot:t.slot + ((lsn - 1) mod Layout.log_sectors * Layout.sector)
+let sector_addr t lsn =
+  Layout.log_addr ~slot:t.slot + ((lsn - 1) mod t.log_sectors * Layout.sector)
 
-(* Write the pending records out as log sectors, reclaiming space
-   from the circular buffer as needed. Only one flusher runs at a
-   time; concurrent callers wait for it (group commit). *)
-let rec flush t =
-  if t.flushing then begin
-    Sim.Condition.wait t.flush_done;
-    flush t
-  end
-  else if t.pending <> [] then begin
-    if not (t.lease_ok ()) then Errors.fail Errors.Eio;
-    t.flushing <- true;
+(* --- format stage -------------------------------------------------------- *)
+
+(* Pack [records] (oldest first) into groups of formatted sector
+   images. Pure computation: no Petal I/O, no LSN consumption. *)
+let make_groups records =
+  let total = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 records in
+  let stream = Bytes.create total in
+  let starts = ref [] (* stream offset of each record start *)
+  and ends = ref [] (* (stream end offset, rid) *) in
+  let pos = ref 0 in
+  List.iter
+    (fun (rid, b) ->
+      starts := !pos :: !starts;
+      Bytes.blit b 0 stream !pos (Bytes.length b);
+      pos := !pos + Bytes.length b;
+      ends := (!pos, rid) :: !ends)
+    records;
+  let starts = List.rev !starts and ends = List.rev !ends in
+  let nsectors = (total + payload_cap - 1) / payload_cap in
+  let build s =
+    let off = s * payload_cap in
+    let len = min payload_cap (total - off) in
+    let sector = Bytes.make Layout.sector '\000' in
+    let first_rec =
+      match List.find_opt (fun st -> st >= off && st < off + len) starts with
+      | Some st -> st - off
+      | None -> 0xffff
+    in
+    Codec.put_u16 sector 8 first_rec;
+    Codec.put_u16 sector 10 len;
+    Bytes.blit stream off sector 12 len;
+    sector
+  in
+  let durable s =
+    let off = s * payload_cap in
+    let len = min payload_cap (total - off) in
+    List.fold_left
+      (fun acc (e, r) -> if e <= off + len then max acc r else acc)
+      0 ends
+  in
+  let recs_with_ends = List.combine records ends in
+  let rec chop s acc =
+    if s >= nsectors then List.rev acc
+    else begin
+      let n = min group_sector_cap (nsectors - s) in
+      let lo = s * payload_cap and hi = (s + n) * payload_cap in
+      let g =
+        {
+          g_records =
+            List.filter_map
+              (fun (rec_, (e, _)) -> if e > lo && e <= hi then Some rec_ else None)
+              recs_with_ends;
+          g_sectors = List.init n (fun i -> build (s + i));
+          g_rids = List.init n (fun i -> durable (s + i));
+        }
+      in
+      chop (s + n) (g :: acc)
+    end
+  in
+  chop 0 []
+
+(* Move everything pending into formatted groups on the queue.
+   Assumes the caller already handled the lease check and any
+   pipeline-depth wait. *)
+let format_now t =
+  if t.pending <> [] then begin
     let records = List.rev t.pending in
-    let highest_rid = t.next_rid in
     t.pending <- [];
     t.pending_bytes <- 0;
-    match write_records t records with
-    | () ->
-      t.flushed_rid <- max t.flushed_rid highest_rid;
-      t.flushing <- false;
-      Sim.Condition.broadcast t.flush_done;
-      (* More records may have been appended while we were writing. *)
-      flush t
-    | exception ex ->
-      (* The host died or Petal became unreachable mid-commit: put
-         the batch back so a later flush retries it (sectors that
-         already landed are rewritten under fresh LSNs — replay is
-         version-checked, so duplicates are harmless), and wake the
-         other flushers so they retry or observe the failure instead
-         of parking on [flush_done] forever. *)
-      t.pending <- t.pending @ List.rev records;
-      t.pending_bytes <-
-        t.pending_bytes
-        + List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 records;
-      t.flushing <- false;
-      Sim.Condition.broadcast t.flush_done;
-      raise ex
+    let groups = make_groups records in
+    if t.submitting && groups <> [] then
+      t.s_overlaps <- t.s_overlaps + List.length groups;
+    t.queued <- t.queued @ groups
   end
 
-and write_records t records =
-    (* Concatenate the records, remembering where each starts and
-       which record each byte belongs to. *)
-    let total = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 records in
-    let stream = Bytes.create total in
-    let starts = ref [] (* stream offset of each record start *)
-    and ends = ref [] (* (stream end offset, rid) *) in
-    let pos = ref 0 in
-    List.iter
-      (fun (rid, b) ->
-        starts := !pos :: !starts;
-        Bytes.blit b 0 stream !pos (Bytes.length b);
-        pos := !pos + Bytes.length b;
-        ends := (!pos, rid) :: !ends)
-      records;
-    let starts = List.rev !starts and ends = List.rev !ends in
-    let nsectors = (total + payload_cap - 1) / payload_cap in
-    let base_lsn = t.next_lsn in
-    (* Build the sectors first, then write them clustered: a group
-       commit lands as one or two contiguous Petal writes. *)
-    let build s =
-      let lsn = base_lsn + s in
-      let off = s * payload_cap in
-      let len = min payload_cap (total - off) in
-      let sector = Bytes.make Layout.sector '\000' in
-      Codec.put_int sector 0 lsn;
-      let first_rec =
-        match List.find_opt (fun st -> st >= off && st < off + len) starts with
-        | Some st -> st - off
-        | None -> 0xffff
-      in
-      Codec.put_u16 sector 8 first_rec;
-      Codec.put_u16 sector 10 len;
-      Bytes.blit stream off sector 12 len;
-      Codec.put_u32 sector 508 (Crc32.bytes sector 0 508);
-      (lsn, sector)
-    in
-    (* Process in batches small enough to reclaim ahead of. *)
-    let batch = 64 in
-    let s = ref 0 in
-    while !s < nsectors do
-      let n = min batch (nsectors - !s) in
-      let last_lsn = base_lsn + !s + n - 1 in
-      (* Make room: sectors about to be overwritten held lsn - 256;
-         everything they described must be in place first. *)
-      if
-        last_lsn > Layout.log_sectors
-        && last_lsn - Layout.log_sectors > t.applied_barrier
-      then begin
-        let upto = last_lsn - 1 in
-        let rid_limit =
-          List.fold_left
-            (fun acc (l, r) -> if l <= upto then max acc r else acc)
-            0 t.rid_at_lsn
-        in
-        if rid_limit > 0 then t.reclaim ~upto_rid:rid_limit;
-        t.applied_barrier <- upto;
-        t.rid_at_lsn <- List.filter (fun (l, _) -> l > upto) t.rid_at_lsn
-      end;
-      let sectors = List.init n (fun i -> build (!s + i)) in
-      (* Recovery replays the maximal run of consecutive LSNs ending
-         at the highest one, so a log sector must never become durable
-         before its predecessors (prefix durability) — a crash
-         mid-flush must not leave an orphaned suffix that replay would
-         apply without the records preceding it. Split the batch
-         wherever one Petal write would stop being a single
-         failure-atomic piece — at the circular-buffer wrap and at
-         chunk boundaries — and write the pieces strictly in order,
-         each awaited before the next is submitted. *)
-      let chunk = Petal.Protocol.chunk_bytes in
-      let rec runs = function
-        | [] -> []
-        | (lsn0, _) :: _ as rest ->
-          let pos0 = (lsn0 - 1) mod Layout.log_sectors in
-          let addr0 = sector_addr t lsn0 in
-          let to_wrap = Layout.log_sectors - pos0 in
-          let to_chunk = (chunk - (addr0 mod chunk)) / Layout.sector in
-          let fit = min (List.length rest) (min to_wrap to_chunk) in
-          let run = List.filteri (fun i _ -> i < fit) rest in
-          let tail = List.filteri (fun i _ -> i >= fit) rest in
-          (addr0, run) :: runs tail
-      in
-      List.iter
-        (fun (addr0, run) ->
-          Petal.Client.write t.vd ~off:addr0
-            (Bytes.concat Bytes.empty (List.map snd run));
-          Faultpoint.hit "wal.commit")
-        (runs sectors);
-      (* Account durability per written sector. *)
-      List.iter
-        (fun (lsn, _) ->
-          let soff = (lsn - base_lsn) * payload_cap in
-          let slen = min payload_cap (total - soff) in
-          let durable =
-            List.fold_left
-              (fun acc (e, rid) -> if e <= soff + slen then max acc rid else acc)
-              t.flushed_rid ends
-          in
-          t.flushed_rid <- max t.flushed_rid durable;
-          t.rid_at_lsn <- (lsn, durable) :: t.rid_at_lsn)
-        sectors;
-      s := !s + n;
-      t.next_lsn <- base_lsn + !s
+(* --- submit stage -------------------------------------------------------- *)
+
+(* Apply (via the reclaim hook) every record wholly contained in
+   sectors with lsn <= [upto], then advance the applied barrier. *)
+let reclaim_upto t upto =
+  t.s_reclaims <- t.s_reclaims + 1;
+  let rid_limit =
+    List.fold_left
+      (fun acc (l, r) -> if l <= upto then max acc r else acc)
+      0 t.rid_at_lsn
+  in
+  if rid_limit > 0 then t.reclaim ~upto_rid:rid_limit;
+  t.applied_barrier <- max t.applied_barrier upto;
+  t.rid_at_lsn <- List.filter (fun (l, _) -> l > upto) t.rid_at_lsn
+
+(* Proactive reclaim, run between group submissions: once the live
+   window passes 3/4 of the log, apply the older half now — off the
+   overwrite path — so the hard guard in [write_group] (a log-pressure
+   stall) rarely fires. Smarter than the paper's reclaim-a-quarter-
+   when-full policy, which pays the whole application inside the
+   stalled flush. *)
+let maybe_reclaim_ahead t =
+  let landed = t.next_lsn - 1 in
+  if landed - t.applied_barrier > t.log_sectors * 3 / 4 then
+    reclaim_upto t (landed - (t.log_sectors / 2))
+
+(* Stamp LSNs and CRCs onto one group's sectors and write them.
+   Recovery replays the maximal run of consecutive LSNs ending at the
+   highest one, so a log sector must never become durable before its
+   predecessors (prefix durability) — a crash mid-group must not leave
+   an orphaned suffix that replay would apply without the records
+   preceding it. The group is split wherever one Petal write would
+   stop being a single failure-atomic piece — at the circular-buffer
+   wrap and at chunk boundaries — and the pieces are written strictly
+   in order, each awaited before the next is submitted.
+
+   [t.next_lsn] advances only after the whole group has landed, so a
+   failed group's retry reuses its LSN range (overwriting whatever
+   prefix of the old attempt landed — harmless, replay is
+   version-checked). *)
+let write_group t g =
+  let n = List.length g.g_sectors in
+  let base = t.next_lsn in
+  let last_lsn = base + n - 1 in
+  (* Make room: sectors about to be overwritten held lsn minus the log
+     size; everything they described must be in place first. *)
+  if last_lsn > t.log_sectors && last_lsn - t.log_sectors > t.applied_barrier
+  then begin
+    t.s_pressure <- t.s_pressure + 1;
+    reclaim_upto t (last_lsn - 1)
+  end;
+  let sectors =
+    List.mapi
+      (fun i sector ->
+        let lsn = base + i in
+        Codec.put_int sector 0 lsn;
+        Codec.put_u32 sector 508 (Crc32.bytes sector 0 508);
+        (lsn, sector))
+      g.g_sectors
+  in
+  let chunk = Petal.Protocol.chunk_bytes in
+  let rec runs = function
+    | [] -> []
+    | (lsn0, _) :: _ as rest ->
+      let pos0 = (lsn0 - 1) mod t.log_sectors in
+      let addr0 = sector_addr t lsn0 in
+      let to_wrap = t.log_sectors - pos0 in
+      let to_chunk = (chunk - (addr0 mod chunk)) / Layout.sector in
+      let fit = min (List.length rest) (min to_wrap to_chunk) in
+      let run = List.filteri (fun i _ -> i < fit) rest in
+      let tail = List.filteri (fun i _ -> i >= fit) rest in
+      (addr0, run) :: runs tail
+  in
+  List.iter
+    (fun (addr0, run) ->
+      Petal.Client.write t.vd ~off:addr0
+        (Bytes.concat Bytes.empty (List.map snd run));
+      Faultpoint.hit "wal.commit")
+    (runs sectors);
+  (* Account durability per written sector. *)
+  List.iteri
+    (fun i rid ->
+      let r = max t.flushed_rid rid in
+      t.flushed_rid <- r;
+      t.rid_at_lsn <- (base + i, r) :: t.rid_at_lsn)
+    g.g_rids;
+  t.next_lsn <- base + n
+
+(* Drain the group queue as the single submitter. On failure, the
+   failed group (still at the head) and everything queued behind it
+   are put back as records — merged with any since-appended pending
+   records and re-sorted by rid, so the retry's groups preserve
+   per-record order — and the other flushers are woken so they retry
+   or observe the failure instead of parking on [flush_done]
+   forever. *)
+let submit_queued t =
+  t.submitting <- true;
+  match
+    while t.queued <> [] do
+      let g = List.hd t.queued in
+      write_group t g;
+      (* A crash during the write runs [discard_volatile] (clearing
+         the queue) under our feet; only pop if the head is still our
+         group. *)
+      (match t.queued with
+      | g' :: rest when g' == g -> t.queued <- rest
+      | _ -> ());
+      t.s_flush_groups <- t.s_flush_groups + 1;
+      Faultpoint.hit "wal.group";
+      Sim.Condition.broadcast t.flush_done;
+      maybe_reclaim_ahead t
     done
+  with
+  | () ->
+    t.submitting <- false;
+    Sim.Condition.broadcast t.flush_done
+  | exception ex ->
+    let requeued = List.concat_map (fun g -> g.g_records) t.queued in
+    t.queued <- [];
+    t.pending <-
+      List.sort (fun (a, _) (b, _) -> compare b a) (requeued @ t.pending);
+    t.pending_bytes <-
+      List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 t.pending;
+    t.submitting <- false;
+    Sim.Condition.broadcast t.flush_done;
+    raise ex
+
+(* --- the caller-facing pipeline ------------------------------------------ *)
+
+(* Format whatever is pending and drive the pipeline until records up
+   to [target] are durable. If another fiber is submitting, wait on
+   its progress; if the wait ends with the records neither durable nor
+   anywhere in the pipeline (a crash discarded the volatile tail),
+   return rather than spin — the caller runs into the dead host's
+   failure on its next I/O. Submission failures propagate to every
+   caller that attempts the (re-queued) work itself. *)
+let rec flush_to t ~target ~on_stall =
+  if t.pending <> [] then begin
+    if not (t.lease_ok ()) then Errors.fail Errors.Eio;
+    while List.length t.queued >= max_queued_groups && t.submitting do
+      on_stall ();
+      Sim.Condition.wait t.flush_done
+    done;
+    format_now t
+  end;
+  if t.flushed_rid < target then
+    if t.submitting then begin
+      on_stall ();
+      Sim.Condition.wait t.flush_done;
+      if
+        t.flushed_rid < target
+        && (t.submitting || t.queued <> [] || t.pending <> [])
+      then flush_to t ~target ~on_stall
+    end
+    else if t.queued <> [] then begin
+      submit_queued t;
+      if t.flushed_rid < target && (t.queued <> [] || t.pending <> []) then
+        flush_to t ~target ~on_stall
+    end
+
+let flush t = flush_to t ~target:t.next_rid ~on_stall:ignore
+
+let ensure_flushed t rid =
+  if rid > t.flushed_rid then
+    flush_to t ~target:(min rid t.next_rid) ~on_stall:(fun () ->
+        t.s_ensure_stalls <- t.s_ensure_stalls + 1)
+
+(* Asynchronous flush kick (the non-synchronous append path): format
+   and enqueue without blocking the appender, and start a submitter if
+   none is running. A failure inside the spawned submitter already put
+   the records back as pending; it resurfaces at the next synchronous
+   flush/fsync. With the pipeline full the records simply stay
+   pending — the appender never blocks. *)
+let kick t =
+  if
+    t.pending <> []
+    && t.lease_ok ()
+    && not (t.submitting && List.length t.queued >= max_queued_groups)
+  then begin
+    format_now t;
+    if (not t.submitting) && t.queued <> [] then
+      Sim.spawn (fun () ->
+          if (not t.submitting) && t.queued <> [] then
+            try submit_queued t with _ -> ())
+  end
 
 let append t diffs =
   Faultpoint.hit "wal.append";
@@ -216,20 +413,16 @@ let append t diffs =
   let b = serialize_record diffs in
   t.pending <- (rid, b) :: t.pending;
   t.pending_bytes <- t.pending_bytes + Bytes.length b;
-  if t.synchronous || t.pending_bytes >= Layout.log_bytes / 4 then flush t;
+  if t.synchronous then
+    flush_to t ~target:rid ~on_stall:(fun () ->
+        t.s_append_stalls <- t.s_append_stalls + 1)
+  else if t.pending_bytes >= t.log_bytes / 4 then kick t;
   rid
-
-let ensure_flushed t rid =
-  (* If a crash discarded the pending tail, the records can never
-     become durable: return (rather than spin) and let the caller run
-     into the dead host's failure on its next I/O. *)
-  while rid > t.flushed_rid && (t.flushing || t.pending <> []) do
-    flush t
-  done
 
 let discard_volatile t =
   t.pending <- [];
-  t.pending_bytes <- 0
+  t.pending_bytes <- 0;
+  t.queued <- []
 
 (* --- recovery-side scan -------------------------------------------------- *)
 
@@ -240,11 +433,12 @@ type scan_report = {
   torn : bool;  (* the stream ended inside an incomplete or garbled record *)
 }
 
-let scan_report vd ~slot =
+let scan_report ?(log_bytes = Layout.log_bytes) vd ~slot =
+  let log_sectors = log_bytes / Layout.sector in
   let base = Layout.log_addr ~slot in
-  let raw = Petal.Client.read vd ~off:base ~len:Layout.log_bytes in
+  let raw = Petal.Client.read vd ~off:base ~len:log_bytes in
   let sectors = ref [] in
-  for i = 0 to Layout.log_sectors - 1 do
+  for i = 0 to log_sectors - 1 do
     let b = Bytes.sub raw (i * Layout.sector) Layout.sector in
     let lsn = Codec.get_int b 0 in
     if
@@ -344,4 +538,4 @@ let scan_report vd ~slot =
       torn = !torn;
     }
 
-let scan vd ~slot = (scan_report vd ~slot).diffs
+let scan ?log_bytes vd ~slot = (scan_report ?log_bytes vd ~slot).diffs

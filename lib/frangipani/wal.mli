@@ -7,15 +7,23 @@
     the metadata they describe (write-ahead ordering is enforced
     together with {!Cache}).
 
-    The log is a circular buffer of 256 sectors; each written sector
-    carries a monotonically increasing LSN, so recovery finds the
-    live window as the maximal run of consecutive LSNs, and sector
-    placement [(lsn-1) mod 256] makes the buffer circular. Before a
+    The log is a circular buffer of sectors (128 KB by default,
+    configurable per server); each written sector carries a
+    monotonically increasing LSN, so recovery finds the live window
+    as the maximal run of consecutive LSNs, and sector placement
+    [(lsn-1) mod log_sectors] makes the buffer circular. Before a
     sector is overwritten, the metadata covered by the records about
     to be lost is written to Petal (the paper's "reclaim the oldest
-    25%" policy generalised to exactly what is needed). Records are
-    replayed at recovery only into sectors whose version is older, so
-    replaying a stale record is harmless. *)
+    25%" policy generalised to exactly what is needed, and run
+    proactively between pipeline groups so it rarely stalls a flush).
+    Records are replayed at recovery only into sectors whose version
+    is older, so replaying a stale record is harmless.
+
+    Flushing is a two-stage pipeline: pending records are formatted
+    into bounded groups of sector images while an earlier group's
+    Petal submission is still in flight. A single submitter writes
+    groups strictly in LSN order, so prefix durability — no sector
+    durable before its predecessors — is preserved. *)
 
 type diff = {
   addr : int;  (** sector-aligned Petal address of the metadata sector *)
@@ -27,15 +35,19 @@ type diff = {
 type t
 
 val create :
+  ?log_bytes:int ->
   vd:Petal.Client.vdisk ->
   slot:int ->
   synchronous:bool ->
   lease_ok:(unit -> bool) ->
+  unit ->
   t
 (** [slot] selects the private log region ([lease mod 256], §7).
-    [synchronous] makes every {!append} flush before returning (§4's
-    optional stronger failure semantics). [lease_ok] is consulted
-    before any Petal write — the §6 hazard check. *)
+    [log_bytes] sizes the circular log (default 128 KB, the paper's
+    figure; must be sector-aligned, at least the default, and fit the
+    slot spacing). [synchronous] makes every {!append} flush before
+    returning (§4's optional stronger failure semantics). [lease_ok]
+    is consulted before any Petal write — the §6 hazard check. *)
 
 val set_reclaim_hook : t -> (upto_rid:int -> unit) -> unit
 (** Install the cache's "write back all dirty metadata recorded by
@@ -52,8 +64,28 @@ val flush : t -> unit
 (** Write all pending records to Petal (group commit). *)
 
 val last_rid : t -> int
+
+val log_size : t -> int
+(** The configured log size in bytes. *)
+
 val discard_volatile : t -> unit
-(** Crash simulation: drop the in-memory tail (unwritten records). *)
+(** Crash simulation: drop the in-memory tail (unwritten records and
+    formatted-but-unsubmitted groups). *)
+
+type wal_stats = {
+  flush_groups : int;  (** groups submitted to Petal *)
+  pipeline_overlaps : int;
+      (** groups formatted while another was in flight *)
+  log_pressure_stalls : int;
+      (** submissions that had to reclaim before overwriting *)
+  reclaim_rounds : int;  (** reclaim invocations (stalled + proactive) *)
+  append_stalls : int;
+      (** synchronous appends that waited on the pipeline *)
+  ensure_stalls : int;
+      (** ensure_flushed calls that waited on the pipeline *)
+}
+
+val stats : t -> wal_stats
 
 type scan_report = {
   diffs : diff list;  (** diffs of all complete records, in log order *)
@@ -64,13 +96,14 @@ type scan_report = {
           crash mid-group-commit; the valid prefix is in [diffs] *)
 }
 
-val scan_report : Petal.Client.vdisk -> slot:int -> scan_report
+val scan_report : ?log_bytes:int -> Petal.Client.vdisk -> slot:int -> scan_report
 (** Recovery: read a log region and decode the live window. Decoding
     is strict (lengths, alignment, versions) and stops at the first
     inconsistency rather than raising, so recovery after a crash
-    mid-commit replays the valid prefix. *)
+    mid-commit replays the valid prefix. [log_bytes] must match the
+    size the dead server logged with (the cluster-wide config). *)
 
-val scan : Petal.Client.vdisk -> slot:int -> diff list
+val scan : ?log_bytes:int -> Petal.Client.vdisk -> slot:int -> diff list
 (** [(scan_report vd ~slot).diffs]. *)
 
 val serialize_for_bench : diff list -> bytes

@@ -27,6 +27,7 @@ type t = {
   mutable on_revoke : lock:int -> to_read:bool -> unit;
   mutable on_do_recovery : dead_lease:int -> unit;
   mutable on_expired : unit -> unit;
+  mutable on_contended : lock:int -> unit;
   mutable expired : bool;
   mutable valid_until : Sim.time;
   mutable closed : bool;
@@ -47,10 +48,11 @@ let lease_valid_until t = t.valid_until
 let check_lease_margin t =
   (not t.expired) && Sim.now () + lease_margin <= t.valid_until
 
-let set_callbacks t ~on_revoke ~on_do_recovery ~on_expired =
+let set_callbacks ?on_contended t ~on_revoke ~on_do_recovery ~on_expired =
   t.on_revoke <- on_revoke;
   t.on_do_recovery <- on_do_recovery;
-  t.on_expired <- on_expired
+  t.on_expired <- on_expired;
+  match on_contended with Some f -> t.on_contended <- f | None -> ()
 
 let lstate t lid =
   match Hashtbl.find_opt t.locks lid with
@@ -267,7 +269,11 @@ let on_revoke_msg t ~lock ~to_mode =
       | Some (Some R), None -> st.revoke_to <- Some None (* strengthen *)
       | Some _, _ -> ()
       | None, _ -> st.revoke_to <- Some to_mode);
-      try_start_revoke t st)
+      try_start_revoke t st;
+      (* Still blocked on local users: tell the FS layer, so it can
+         shed discretionary holds (cancel speculative read-ahead)
+         instead of making the remote waiter ride them out. *)
+      if st.revoke_to <> None && not st.revoking then t.on_contended ~lock)
 
 let on_do_recovery_msg t ~dead_lease =
   if not (Hashtbl.mem t.recoveries dead_lease) then begin
@@ -457,6 +463,7 @@ let create ~rpc ~servers ~table:ctable () =
       on_revoke = (fun ~lock:_ ~to_read:_ -> ());
       on_do_recovery = (fun ~dead_lease:_ -> ());
       on_expired = (fun () -> ());
+      on_contended = (fun ~lock:_ -> ());
       expired = false;
       valid_until = Sim.now () + lease_period;
       closed = false;

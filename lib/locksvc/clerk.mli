@@ -29,6 +29,7 @@ val lease : t -> int
 val table : t -> string
 
 val set_callbacks :
+  ?on_contended:(lock:int -> unit) ->
   t ->
   on_revoke:(lock:int -> to_read:bool -> unit) ->
   on_do_recovery:(dead_lease:int -> unit) ->
@@ -37,7 +38,11 @@ val set_callbacks :
 (** [on_revoke ~lock ~to_read] must write back dirty data covered by
     [lock] and, unless [to_read] (a downgrade), invalidate cached
     data. [on_do_recovery dead] must replay the dead server's log.
-    [on_expired] is invoked once if the lease lapses. *)
+    [on_expired] is invoked once if the lease lapses. [on_contended
+    ~lock] fires when a revoke arrives but cannot start because local
+    users still hold the lock — the FS layer uses it to shed
+    discretionary holds (cancel speculative read-ahead) so a remote
+    waiter is not serialised behind a prefetch. *)
 
 val acquire : t -> lock:int -> Types.mode -> unit
 (** Block until the lock is held in (at least) the given mode for

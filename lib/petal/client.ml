@@ -27,6 +27,13 @@ type t = {
   mutable read_piece_count : int; (* chunk pieces before coalescing *)
   mutable read_rpc_count : int; (* read RPCs actually issued *)
   mutable read_coalesce_count : int; (* pieces merged into a neighbour *)
+  mutable write_piece_count : int; (* write pieces before coalescing *)
+  mutable write_rpc_count : int; (* write RPCs actually issued *)
+  mutable write_coalesce_count : int; (* write pieces merged into a neighbour *)
+  prefetch_inflight : Sim.Resource.t;
+      (* speculative reads are bounded separately (and tighter) than
+         the main pool, so a deep read-ahead window can never occupy
+         the slots a foreground read or dirty write-back needs *)
   (* Servers whose last piece RPC timed out, mapped to the time of
      their next probe: until then pieces go straight to the other
      replica instead of re-paying the timeout, and after a successful
@@ -61,6 +68,9 @@ type stats = {
   read_pieces : int;
   read_rpcs : int;
   read_coalesced : int;
+  write_pieces : int;
+  write_rpcs : int;
+  write_coalesced : int;
   failovers : int;
   primary_skips : int;
   probe_heals : int;
@@ -71,6 +81,10 @@ type stats = {
 (* The paper keeps "several megabytes" of write-behind in flight
    (§4); 64 pieces of up to 64 KB each is 4 MB. *)
 let max_inflight_pieces = 64
+
+(* Speculative (read-ahead) pieces get their own, smaller bound: 16
+   pieces of up to 64 KB is one full prefetch window in flight. *)
+let max_prefetch_pieces = 16
 
 (* The per-replica timeout must comfortably exceed a queued raw-disk
    write burst; failover latency is dominated by it, so it trades
@@ -83,10 +97,13 @@ let connect ~rpc ~servers ?active () =
   in
   { rpc; servers; timeout = Sim.sec 2.0;
     inflight = Sim.Resource.create ~capacity:max_inflight_pieces "petal.inflight";
+    prefetch_inflight =
+      Sim.Resource.create ~capacity:max_prefetch_pieces "petal.prefetch";
     write_guard = (fun () -> None);
     active; mepoch = 0;
     write_ops = 0; write_ns = 0; read_ops = 0; read_ns = 0;
     read_piece_count = 0; read_rpc_count = 0; read_coalesce_count = 0;
+    write_piece_count = 0; write_rpc_count = 0; write_coalesce_count = 0;
     suspects = Hashtbl.create 4;
     failover_count = 0; primary_skip_count = 0; probe_heal_count = 0;
     map_refresh_count = 0; wrong_epoch_retry_count = 0 }
@@ -108,6 +125,9 @@ let op_stats v =
     read_pieces = v.c.read_piece_count;
     read_rpcs = v.c.read_rpc_count;
     read_coalesced = v.c.read_coalesce_count;
+    write_pieces = v.c.write_piece_count;
+    write_rpcs = v.c.write_rpc_count;
+    write_coalesced = v.c.write_coalesce_count;
     failovers = v.c.failover_count;
     primary_skips = v.c.primary_skip_count;
     probe_heals = v.c.probe_heal_count;
@@ -224,8 +244,10 @@ let max_map_rounds = 4
    map refresh and a re-route against the new owners (bounded by
    [max_map_rounds]), which is how a client rides through a
    reconfiguration cutover without surfacing replica loss. *)
-let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
-  Sim.Resource.acquire t.inflight;
+let submit_piece ?(prefetch = false) t g ~root ~chunk ~nrep ~size ~req_of
+    ~on_reply =
+  let pool = if prefetch then t.prefetch_inflight else t.inflight in
+  Sim.Resource.acquire pool;
   let pi = primary_of t ~root ~chunk in
   let to_secondary = nrep > 1 && skip_primary t pi in
   if to_secondary then t.primary_skip_count <- t.primary_skip_count + 1;
@@ -238,7 +260,7 @@ let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
         Rpc.call_async t.rpc ~dst:t.servers.(pi) ~timeout:t.timeout ~size
           (req_of ~solo:false)
     with ex ->
-      Sim.Resource.release t.inflight;
+      Sim.Resource.release pool;
       raise ex
   in
   (* One routed attempt against the current map: primary first (unless
@@ -311,10 +333,10 @@ let submit_piece t g ~root ~chunk ~nrep ~size ~req_of ~on_reply =
       | exception ex ->
         (* Our own host died mid-failover: fail the op, don't abort
            the simulation from this helper process. *)
-        Sim.Resource.release t.inflight;
+        Sim.Resource.release pool;
         gather_fill g (Error ex)
       | reply -> (
-        Sim.Resource.release t.inflight;
+        Sim.Resource.release pool;
         match reply with
         | None ->
           let msg =
@@ -400,7 +422,7 @@ type dest = { dbuf : bytes; dpos : int; srcoff : int; dlen : int }
    and the head of the next, when runs are not chunk-aligned. Each
    coalesced RPC scatters its reply into all its destination
    segments. *)
-let read_scatter v ~runs ~result ~account =
+let read_scatter ?prefetch v ~runs ~result ~account =
   List.iter (fun (off, buf) -> check_aligned ~off ~len:(Bytes.length buf)) runs;
   let raw =
     List.concat_map
@@ -434,7 +456,8 @@ let read_scatter v ~runs ~result ~account =
     try
       List.iter
         (fun (chunk, within, len, ds) ->
-          submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:read_req_size
+          submit_piece ?prefetch v.c g ~root:v.root ~chunk ~nrep:v.nrep
+            ~size:read_req_size
             ~req_of:(fun ~solo:_ ->
               Read_req
                 { root = v.root; chunk; within; len; sel = sel v;
@@ -458,42 +481,78 @@ let read_async v ~off ~len =
     ~result:(fun () -> buf)
     ~account:(fun dt -> v.c.read_ns <- v.c.read_ns + dt)
 
-let read_runs_async v runs =
+let read_runs_async ?prefetch v runs =
   v.c.read_ops <- v.c.read_ops + 1;
   let bufs = List.map (fun (off, len) -> (off, Bytes.create len)) runs in
-  read_scatter v ~runs:bufs
+  read_scatter ?prefetch v ~runs:bufs
     ~result:(fun () -> List.map snd bufs)
     ~account:(fun dt -> v.c.read_ns <- v.c.read_ns + dt)
 
-let write_async v ~off data =
+(* One source segment of a (possibly coalesced) write RPC: [slen]
+   bytes at [spos] of [sbuf] form part of the payload. *)
+type src = { sbuf : bytes; spos : int; slen : int }
+
+(* The write-side twin of {!read_scatter}: split every [(off, data)]
+   run into chunk pieces, coalesce adjacent pieces addressing the same
+   chunk (the tail of one run and the head of the next, when runs are
+   not chunk-aligned) into one RPC. A piece with a single source ships
+   a (doff, dlen) slice of the caller's buffer — no copy, payloads are
+   immutable once sent (Storage.mli's ownership rules); a merged piece
+   gathers its sources into one fresh payload. *)
+let write_scatter v ~runs ~account =
   if is_snapshot v then raise Read_only;
-  let len = Bytes.length data in
-  check_aligned ~off ~len;
-  v.c.write_ops <- v.c.write_ops + 1;
-  let ps = pieces ~off ~len in
-  let g =
-    gather_create ~npieces:(List.length ps)
-      ~result:(fun () -> ())
-      ~account:(fun dt -> v.c.write_ns <- v.c.write_ns + dt)
+  List.iter (fun (off, data) -> check_aligned ~off ~len:(Bytes.length data)) runs;
+  let raw =
+    List.concat_map
+      (fun (off, data) ->
+        let pos = ref 0 in
+        List.map
+          (fun (chunk, within, n) ->
+            let p = !pos in
+            pos := !pos + n;
+            (chunk, within, n, { sbuf = data; spos = p; slen = n }))
+          (pieces ~off ~len:(Bytes.length data)))
+      runs
   in
-  if ps = [] then gather_fill g (Ok ())
+  let merged =
+    List.fold_left
+      (fun acc (chunk, within, n, s) ->
+        match acc with
+        | (c0, w0, l0, ss) :: rest when c0 = chunk && w0 + l0 = within ->
+          (c0, w0, l0 + n, s :: ss) :: rest
+        | _ -> (chunk, within, n, [ s ]) :: acc)
+      [] raw
+    |> List.rev_map (fun (c, w, l, ss) -> (c, w, l, List.rev ss))
+  in
+  v.c.write_piece_count <- v.c.write_piece_count + List.length raw;
+  v.c.write_rpc_count <- v.c.write_rpc_count + List.length merged;
+  v.c.write_coalesce_count <-
+    v.c.write_coalesce_count + (List.length raw - List.length merged);
+  let g =
+    gather_create ~npieces:(List.length merged)
+      ~result:(fun () -> ())
+      ~account
+  in
+  if merged = [] then gather_fill g (Ok ())
   else begin
-    let pos = ref 0 in
     try
       List.iter
-        (fun (chunk, within, n) ->
+        (fun (chunk, within, len, ss) ->
           Faultpoint.hit "petal.write_piece";
-          (* Every piece shares the caller's buffer via a (doff, dlen)
-             slice — no per-piece copy. Safe because payloads are
-             immutable once sent (Storage.mli's ownership rules). *)
-          let doff = !pos in
-          pos := !pos + n;
+          let data, doff, dlen =
+            match ss with
+            | [ s ] -> (s.sbuf, s.spos, s.slen)
+            | ss ->
+              ( Bytes.concat Bytes.empty
+                  (List.map (fun s -> Bytes.sub s.sbuf s.spos s.slen) ss),
+                0, len )
+          in
           let expires = v.c.write_guard () in
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep
-            ~size:(write_req_size n)
+            ~size:(write_req_size dlen)
             ~req_of:(fun ~solo ->
               Write_req
-                { root = v.root; chunk; within; data; doff; dlen = n; solo;
+                { root = v.root; chunk; within; data; doff; dlen; solo;
                   mepoch = v.c.mepoch; expires })
             ~on_reply:(function
               | Write_ok -> ()
@@ -501,10 +560,21 @@ let write_async v ~off data =
                 raise (Stale_write "expired lease timestamp")
               | Perr e -> failwith ("petal: " ^ e)
               | _ -> failwith "petal: bad write reply"))
-        ps
+        merged
     with ex -> gather_fill g (Error ex)
   end;
   g.handle
+
+let write_async v ~off data =
+  v.c.write_ops <- v.c.write_ops + 1;
+  write_scatter v
+    ~runs:[ (off, data) ]
+    ~account:(fun dt -> v.c.write_ns <- v.c.write_ns + dt)
+
+let write_runs_async v runs =
+  v.c.write_ops <- v.c.write_ops + 1;
+  write_scatter v ~runs
+    ~account:(fun dt -> v.c.write_ns <- v.c.write_ns + dt)
 
 let decommit_async v ~off ~len =
   if is_snapshot v then raise Read_only;

@@ -43,6 +43,9 @@ val max_inflight_pieces : int
 (** Bound on outstanding chunk pieces per driver (the write-behind
     window of §4 — 64 pieces of up to 64 KB is 4 MB). *)
 
+val max_prefetch_pieces : int
+(** Separate, smaller bound for speculative (read-ahead) pieces. *)
+
 val connect :
   rpc:Cluster.Rpc.t ->
   servers:Cluster.Net.addr array ->
@@ -84,18 +87,29 @@ val read_async : vdisk -> off:int -> len:int -> bytes handle
     space reads as zeros. All chunk pieces are issued before the call
     returns; the handle fills when the last piece lands. *)
 
-val read_runs_async : vdisk -> (int * int) list -> bytes list handle
+val read_runs_async : ?prefetch:bool -> vdisk -> (int * int) list -> bytes list handle
 (** Submit several [(off, len)] extents as one scatter-gather read;
     the handle fills with one buffer per extent, in order, once every
     piece of every extent has landed. Adjacent chunk pieces of
     consecutive extents that address the same chunk (hence the same
     server) are coalesced into a single RPC — the batched read path's
-    round-trip saver, visible in {!op_stats}. *)
+    round-trip saver, visible in {!op_stats}. With [prefetch:true] the
+    pieces draw from a separate, smaller in-flight pool
+    ({!max_prefetch_pieces}), so speculative read-ahead can never
+    occupy the slots a foreground read or dirty write-back needs. *)
 
 val write_async : vdisk -> off:int -> bytes -> unit handle
 (** Submit a write. When the handle fills the data is durable (both
     replicas for 2-way disks, modulo degraded mode when a replica is
     down). Raises {!Protocol.Read_only} on snapshots. *)
+
+val write_runs_async : vdisk -> (int * bytes) list -> unit handle
+(** Submit several [(off, data)] extents as one scatter-gather write;
+    the handle fills once every piece of every extent is durable.
+    Adjacent chunk pieces of consecutive extents that address the same
+    chunk are coalesced into a single RPC, mirroring
+    {!read_runs_async} — the batched write-back path's round-trip
+    saver, visible in {!op_stats}. *)
 
 val decommit_async : vdisk -> off:int -> len:int -> unit handle
 (** Submit the freeing of the physical space backing a chunk-aligned
@@ -129,6 +143,9 @@ type stats = {
   read_pieces : int;  (** chunk pieces across all reads, pre-coalescing *)
   read_rpcs : int;  (** read RPCs actually issued *)
   read_coalesced : int;  (** pieces merged into a neighbouring RPC *)
+  write_pieces : int;  (** chunk pieces across all writes, pre-coalescing *)
+  write_rpcs : int;  (** write RPCs actually issued *)
+  write_coalesced : int;  (** write pieces merged into a neighbouring RPC *)
   failovers : int;  (** piece RPCs that timed out on the primary *)
   primary_skips : int;  (** pieces routed straight to the replica *)
   probe_heals : int;  (** suspected primaries found healthy again *)

@@ -480,6 +480,25 @@ let test_read_runs_coalesce () =
       Alcotest.(check int) "rpcs" 1 (s1.read_rpcs - s0.read_rpcs);
       Alcotest.(check int) "coalesced" 1 (s1.read_coalesced - s0.read_coalesced))
 
+(* The write-side mirror: two adjacent extents in one chunk go down
+   as one gathered wire RPC. *)
+let test_write_runs_coalesce () =
+  Sim.run (fun () ->
+      let _, _, _, vd = setup () in
+      let a = bytes_pat 32768 12 and b = bytes_pat 32768 13 in
+      let s0 = Petal.Client.op_stats vd in
+      Petal.Client.await
+        (Petal.Client.write_runs_async vd [ (0, a); (32768, b) ]);
+      let s1 = Petal.Client.op_stats vd in
+      let open Petal.Client in
+      Alcotest.(check int) "pieces" 2 (s1.write_pieces - s0.write_pieces);
+      Alcotest.(check int) "rpcs" 1 (s1.write_rpcs - s0.write_rpcs);
+      Alcotest.(check int) "coalesced" 1 (s1.write_coalesced - s0.write_coalesced);
+      let back = Petal.Client.read vd ~off:0 ~len:65536 in
+      Alcotest.(check bool) "both extents landed" true
+        (Bytes.equal (Bytes.sub back 0 32768) a
+        && Bytes.equal (Bytes.sub back 32768 32768) b))
+
 let test_read_runs_overlap () =
   Sim.run (fun () ->
       let _, _, _, vd = setup () in
@@ -659,6 +678,8 @@ let () =
           Alcotest.test_case "async handles overlap" `Quick test_async_handles_overlap;
           Alcotest.test_case "multi-extent read coalesces" `Quick
             test_read_runs_coalesce;
+          Alcotest.test_case "multi-extent write coalesces" `Quick
+            test_write_runs_coalesce;
           Alcotest.test_case "multi-extent pieces overlap" `Quick
             test_read_runs_overlap;
           Alcotest.test_case "multi-extent failover concurrent" `Quick

@@ -22,7 +22,7 @@ let d i =
 let test_roundtrip () =
   Sim.run (fun () ->
       let vd = mkvd () in
-      let w = Wal.create ~vd ~slot:3 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let w = Wal.create ~vd ~slot:3 ~synchronous:false ~lease_ok:(fun () -> true) () in
       for i = 0 to 9 do
         ignore (Wal.append w [ d i ])
       done;
@@ -40,7 +40,7 @@ let test_roundtrip () =
 let test_unflushed_not_durable () =
   Sim.run (fun () ->
       let vd = mkvd () in
-      let w = Wal.create ~vd ~slot:0 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let w = Wal.create ~vd ~slot:0 ~synchronous:false ~lease_ok:(fun () -> true) () in
       ignore (Wal.append w [ d 1 ]);
       Alcotest.(check int) "nothing on disk yet" 0 (List.length (Wal.scan vd ~slot:0));
       Wal.discard_volatile w;
@@ -50,7 +50,7 @@ let test_unflushed_not_durable () =
 let test_synchronous_mode () =
   Sim.run (fun () ->
       let vd = mkvd () in
-      let w = Wal.create ~vd ~slot:1 ~synchronous:true ~lease_ok:(fun () -> true) in
+      let w = Wal.create ~vd ~slot:1 ~synchronous:true ~lease_ok:(fun () -> true) () in
       ignore (Wal.append w [ d 7 ]);
       (* Durable immediately, no explicit flush. *)
       Alcotest.(check int) "already durable" 1 (List.length (Wal.scan vd ~slot:1)))
@@ -58,7 +58,7 @@ let test_synchronous_mode () =
 let test_ensure_flushed_barrier () =
   Sim.run (fun () ->
       let vd = mkvd () in
-      let w = Wal.create ~vd ~slot:2 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let w = Wal.create ~vd ~slot:2 ~synchronous:false ~lease_ok:(fun () -> true) () in
       let r1 = Wal.append w [ d 1 ] in
       let r2 = Wal.append w [ d 2 ] in
       Wal.ensure_flushed w r1;
@@ -69,7 +69,7 @@ let test_ensure_flushed_barrier () =
 let test_wraparound_keeps_window () =
   Sim.run (fun () ->
       let vd = mkvd () in
-      let w = Wal.create ~vd ~slot:4 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let w = Wal.create ~vd ~slot:4 ~synchronous:false ~lease_ok:(fun () -> true) () in
       (* Push far more than 128 KB of records through: the log wraps
          several times; scan must return a consistent recent window,
          newest record always included. *)
@@ -90,8 +90,8 @@ let test_wraparound_keeps_window () =
 let test_isolated_slots () =
   Sim.run (fun () ->
       let vd = mkvd () in
-      let w5 = Wal.create ~vd ~slot:5 ~synchronous:true ~lease_ok:(fun () -> true) in
-      let w6 = Wal.create ~vd ~slot:6 ~synchronous:true ~lease_ok:(fun () -> true) in
+      let w5 = Wal.create ~vd ~slot:5 ~synchronous:true ~lease_ok:(fun () -> true) () in
+      let w6 = Wal.create ~vd ~slot:6 ~synchronous:true ~lease_ok:(fun () -> true) () in
       ignore (Wal.append w5 [ d 100 ]);
       ignore (Wal.append w6 [ d 200 ]);
       Alcotest.(check int) "slot5" 1 (List.length (Wal.scan vd ~slot:5));
@@ -102,7 +102,7 @@ let test_lease_check_blocks_writes () =
   Sim.run (fun () ->
       let vd = mkvd () in
       let ok = ref true in
-      let w = Wal.create ~vd ~slot:8 ~synchronous:false ~lease_ok:(fun () -> !ok) in
+      let w = Wal.create ~vd ~slot:8 ~synchronous:false ~lease_ok:(fun () -> !ok) () in
       ignore (Wal.append w [ d 1 ]);
       ok := false;
       (try
@@ -118,7 +118,7 @@ let test_lease_check_blocks_writes () =
 let test_torn_tail_replays_prefix () =
   Sim.run (fun () ->
       let vd = mkvd () in
-      let w = Wal.create ~vd ~slot:3 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let w = Wal.create ~vd ~slot:3 ~synchronous:false ~lease_ok:(fun () -> true) () in
       ignore (Wal.append w [ d 1 ]);
       ignore
         (Wal.append w
@@ -172,7 +172,7 @@ let test_flush_failure_releases_group_commit () =
       let rpc = Cluster.Rpc.create (Cluster.Net.attach net h) in
       let c = Petal.Testbed.client tb ~rpc in
       let vd = Petal.Client.open_vdisk c (Petal.Client.create_vdisk c ~nrep:2) in
-      let w = Wal.create ~vd ~slot:0 ~synchronous:false ~lease_ok:(fun () -> true) in
+      let w = Wal.create ~vd ~slot:0 ~synchronous:false ~lease_ok:(fun () -> true) () in
       let r = Wal.append w [ d 1 ] in
       Cluster.Host.crash h;
       (match Wal.flush w with
@@ -185,13 +185,75 @@ let test_flush_failure_releases_group_commit () =
       | () -> Alcotest.fail "flush should fail again, not wedge"
       | exception Cluster.Host.Crashed _ -> ()))
 
+(* The flush pipeline: while one group of sectors is in flight to
+   Petal, the next batch of appends is formatted and queued behind it.
+   Even though the second batch finishes formatting while the first is
+   still on the wire, the single submitter must land everything in
+   strict LSN (= rid) order. *)
+let test_pipelined_groups_land_in_order () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let w = Wal.create ~vd ~slot:3 ~synchronous:false ~lease_ok:(fun () -> true) () in
+      (* Batch 1: ~127 sectors, several pipeline groups. *)
+      for i = 0 to 149 do
+        ignore
+          (Wal.append w [ diff (Layout.inode_addr i) 0 (Bytes.make 400 'x') (i + 1) ])
+      done;
+      let done1 = Sim.Ivar.create () in
+      Sim.spawn (fun () ->
+          Wal.flush w;
+          Sim.Ivar.fill done1 ());
+      (* Let the submitter put group 1 on the wire, then format batch
+         2 while it is still in flight. *)
+      Sim.sleep (Sim.us 100);
+      for i = 150 to 199 do
+        ignore
+          (Wal.append w [ diff (Layout.inode_addr i) 0 (Bytes.make 400 'y') (i + 1) ])
+      done;
+      Wal.flush w;
+      Sim.Ivar.read done1;
+      Alcotest.(check bool) "formatting overlapped an in-flight group" true
+        ((Wal.stats w).Wal.pipeline_overlaps > 0);
+      Alcotest.(check bool) "several groups were submitted" true
+        ((Wal.stats w).Wal.flush_groups > 1);
+      let diffs = Wal.scan vd ~slot:3 in
+      Alcotest.(check (list int)) "every record present, in rid order"
+        (List.init 200 (fun i -> i + 1))
+        (List.map (fun (x : Wal.diff) -> x.Wal.version) diffs))
+
+(* A larger-than-default log retains a wider replay window: ~1000
+   records of ~1 sector each overflow the 128 KB default several
+   times over, but stay almost entirely live in a 512 KB log. *)
+let test_larger_log_widens_window () =
+  Sim.run (fun () ->
+      let vd = mkvd () in
+      let log_bytes = 512 * 1024 in
+      let w =
+        Wal.create ~log_bytes ~vd ~slot:4 ~synchronous:false
+          ~lease_ok:(fun () -> true) ()
+      in
+      for i = 0 to 999 do
+        ignore
+          (Wal.append w [ diff (Layout.inode_addr i) 0 (Bytes.make 500 'z') (i + 1) ]);
+        if i mod 100 = 0 then Wal.flush w
+      done;
+      Wal.flush w;
+      let r = Wal.scan_report ~log_bytes vd ~slot:4 in
+      Alcotest.(check bool) "not torn" false r.Wal.torn;
+      Alcotest.(check bool)
+        (Printf.sprintf "window wider than a 128 KB log allows (got %d records)"
+           r.Wal.records)
+        true (r.Wal.records > 400);
+      (* The log wrapped, so reclaim must have run. *)
+      Alcotest.(check bool) "reclaim ran" true ((Wal.stats w).Wal.reclaim_rounds > 0))
+
 let prop_scan_returns_complete_prefix_records =
   QCheck.Test.make ~name:"random record sizes survive the sector packer" ~count:25
     QCheck.(list_of_size Gen.(int_range 1 60) (int_range 1 400))
     (fun sizes ->
       Sim.run (fun () ->
           let vd = mkvd () in
-          let w = Wal.create ~vd ~slot:9 ~synchronous:false ~lease_ok:(fun () -> true) in
+          let w = Wal.create ~vd ~slot:9 ~synchronous:false ~lease_ok:(fun () -> true) () in
           List.iteri
             (fun i sz ->
               ignore
@@ -224,6 +286,10 @@ let () =
             test_garbage_sector_with_valid_crc;
           Alcotest.test_case "flush failure releases group commit" `Quick
             test_flush_failure_releases_group_commit;
+          Alcotest.test_case "pipelined groups land in lsn order" `Quick
+            test_pipelined_groups_land_in_order;
+          Alcotest.test_case "larger log widens replay window" `Quick
+            test_larger_log_widens_window;
           QCheck_alcotest.to_alcotest prop_scan_returns_complete_prefix_records;
         ] );
     ]
