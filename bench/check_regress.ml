@@ -15,6 +15,12 @@
      as for workloads) and "events_per_sec" (host wall-clock; runs on
      this 1-vCPU container vary several-fold, so only an
      order-of-magnitude collapse — >90% drop — fails).
+   - "soak": per-scenario "invariant_checks" must not drop more than
+     20% (the harness silently checking less is itself a regression)
+     and "max_cutover_s" must not more than double (the drain-time
+     write freeze bounds hot-chunk cutover; losing that bound shows
+     up here before it shows up as a soak timeout). Simulated-time
+     counters, fully deterministic.
 
    Metrics present in only one of the two files never fail: a section
    the older snapshot predates (e.g. "sim" and "scale" appeared with
@@ -33,6 +39,8 @@ let gates =
     ("sim", [ ("ns_per_op", Lower, 1.00) ]);
     ( "scale",
       [ ("fs_ops_per_sec", Higher, 0.20); ("events_per_sec", Higher, 0.90) ] );
+    ( "soak",
+      [ ("invariant_checks", Higher, 0.20); ("max_cutover_s", Lower, 1.00) ] );
   ]
 
 (* Metrics a PR's tentpole specifically optimised: the new value must

@@ -534,7 +534,7 @@ let print_net_delta name (p_rpc : Cluster.Rpc.stats) (p_cl : Locksvc.Clerk.stats
    derived from the filename (BENCH_5.json shipped with a hand-typed
    "pr": 4 — wrong, and silently so); keeping one constant makes the
    two impossible to disagree. *)
-let bench_out = "BENCH_7.json"
+let bench_out = "BENCH_10.json"
 let bench_pr = Scanf.sscanf bench_out "BENCH_%d.json" (fun n -> n)
 
 (* Row stores for the emitter: json_bench (workloads, reconf) runs
@@ -860,18 +860,53 @@ let scale () =
     \ expected while Petal capacity grows proportionally)";
   List.iter scale_one [ 64; 96; 128 ]
 
+(* --- soak: composed-nemesis invariant scenarios ------------------------------------- *)
+
+(* A bench-sized slice of the soak harness (the 20-seed x 1-hour run
+   is test_soak_full.exe): the everything-composed scripted round plus
+   one short seeded round. Counters only — the numbers that matter
+   for the trajectory are how much invariant checking ran and how
+   long the worst hot-chunk cutover took. *)
+let soak_rows : (string * Workloads.Soak.outcome * float) list ref = ref []
+
+let soak_bench () =
+  print_endline hrule;
+  print_endline
+    "soak: composed-nemesis rounds with continuous invariants (counters; the\n\
+    \ 20-seed x 1-simulated-hour soak is test/test_soak_full.exe)";
+  let module Soak = Workloads.Soak in
+  let one name ?duration ?fs_servers spec =
+    let t0 = Sys.time () in
+    let o = Soak.run ?duration ?fs_servers spec in
+    let host = Sys.time () -. t0 in
+    (match Soak.failures o with
+    | [] -> ()
+    | f :: _ -> Printf.printf "  %s: FAILED: %s\n" name f);
+    Printf.printf
+      "  %-16s %4.2f sim-h in %5.1f host-s  acked %5d  freeze rej %4d  \
+       cutover %5.1f s  checks %3d  violations %d\n"
+      name o.Soak.sim_hours host o.Soak.acked o.Soak.freeze_rejects
+      (Sim.to_sec o.Soak.max_cutover_ns)
+      o.Soak.checks_run
+      (List.length o.Soak.violations);
+    soak_rows := !soak_rows @ [ (name, o, host) ]
+  in
+  one "composed_quick" (Soak.Scripted "composed_quick");
+  one "seeded_600s" ~duration:(Sim.sec 600.0) ~fs_servers:16 (Soak.Random 0)
+
 (* --- machine-readable snapshot ------------------------------------------------------ *)
 
 (* Writes [bench_out] from the rows the other experiments collected,
    running any producer that has not run yet (so `bench json` alone
    still emits a complete file). Sections: "workloads" (+"net",
    "reconf") from json_bench, "sim" from simbench, "scale" from the
-   cluster-scaling runs. check_regress gates "workloads", "sim" and
-   "scale". *)
+   cluster-scaling runs, "soak" from the composed-nemesis rounds.
+   check_regress gates "workloads", "sim", "scale" and "soak". *)
 let write_json () =
   if !json_rows = [] then json_bench ();
   if !simbench_rows = [] then simbench ();
   if !scale_rows = [] then scale ();
+  if !soak_rows = [] then soak_bench ();
   let rows = List.rev !json_rows in
   let oc = open_out bench_out in
   Printf.fprintf oc "{\n  \"pr\": %d,\n  \"workloads\": {\n" bench_pr;
@@ -923,6 +958,25 @@ let write_json () =
         name secs pushes bytes
         (if i = List.length !reconf_rows - 1 then "" else ","))
     !reconf_rows;
+  (* The "soak" rows are simulated-time counters, so deterministic;
+     check_regress gates invariant_checks and max_cutover_s. *)
+  Printf.fprintf oc "  },\n  \"soak\": {\n";
+  List.iteri
+    (fun i (name, (o : Workloads.Soak.outcome), host) ->
+      Printf.fprintf oc
+        "    %S: { \"sim_hours\": %.2f, \"host_seconds\": %.1f, \"acked\": %d, \
+         \"failed_ops\": %d, \"freeze_rejects\": %d, \"freeze_waits\": %d, \
+         \"max_cutover_s\": %.3f, \"invariant_checks\": %d, \"violations\": \
+         %d, \"wal_reclaims\": %d, \"log_replays\": %d }%s\n"
+        name o.Workloads.Soak.sim_hours host o.Workloads.Soak.acked
+        o.Workloads.Soak.failed_ops o.Workloads.Soak.freeze_rejects
+        o.Workloads.Soak.freeze_waits
+        (Sim.to_sec o.Workloads.Soak.max_cutover_ns)
+        o.Workloads.Soak.checks_run
+        (List.length o.Workloads.Soak.violations)
+        o.Workloads.Soak.wal_reclaims o.Workloads.Soak.replays
+        (if i = List.length !soak_rows - 1 then "" else ","))
+    !soak_rows;
   Printf.fprintf oc "  },\n  \"sim\": {\n";
   List.iteri
     (fun i (name, ops, ns) ->
@@ -1027,6 +1081,7 @@ let experiments =
     ("ablation", ablation);
     ("simbench", simbench);
     ("scale", scale);
+    ("soak", soak_bench);
     ("json", write_json);
     ("micro", micro);
   ]

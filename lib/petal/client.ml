@@ -45,6 +45,10 @@ type t = {
   mutable probe_heal_count : int;
   mutable map_refresh_count : int;
   mutable wrong_epoch_retry_count : int;
+  mutable freeze_wait_count : int;
+      (* wait-and-retry rounds spent against a server NOT ahead of the
+         client's map: Paxos apply lag, or the drain-time write freeze
+         of a pending reconfiguration (which can last many seconds) *)
 }
 
 type vdisk = {
@@ -76,6 +80,7 @@ type stats = {
   probe_heals : int;
   map_refreshes : int;
   wrong_epoch_retries : int;
+  freeze_waits : int;
 }
 
 (* The paper keeps "several megabytes" of write-behind in flight
@@ -106,7 +111,8 @@ let connect ~rpc ~servers ?active () =
     write_piece_count = 0; write_rpc_count = 0; write_coalesce_count = 0;
     suspects = Hashtbl.create 4;
     failover_count = 0; primary_skip_count = 0; probe_heal_count = 0;
-    map_refresh_count = 0; wrong_epoch_retry_count = 0 }
+    map_refresh_count = 0; wrong_epoch_retry_count = 0;
+    freeze_wait_count = 0 }
 
 (* How long a timed-out server is skipped before a piece probes it
    again. Short enough that a healed partition stops costing the
@@ -133,6 +139,7 @@ let op_stats v =
     probe_heals = v.c.probe_heal_count;
     map_refreshes = v.c.map_refresh_count;
     wrong_epoch_retries = v.c.wrong_epoch_retry_count;
+    freeze_waits = v.c.freeze_wait_count;
   }
 
 (* Placement mirrors Server.owners_under exactly: ring slot
@@ -231,6 +238,16 @@ let note_primary_ok t pi =
    instants. *)
 let max_map_rounds = 4
 
+(* How many wait-and-retry rounds a piece tolerates against a server
+   that is NOT ahead of the client's map. That happens for seconds at
+   most under plain apply lag, but for much longer under the
+   drain-time write freeze of a pending reconfiguration — the server
+   rejects mutations of a moving chunk until the handoff drains and
+   the cutover commits. 120 rounds of 250 ms (30 s of simulated time)
+   comfortably covers the freeze window; the freeze exists precisely
+   so that window is bounded. *)
+let max_wait_rounds = 120
+
 (* Submit one piece: fire the first RPC from the submitting process
    (so submission order is preserved and backpressure is felt there),
    then hand completion to a fresh process. [on_reply] interprets the
@@ -285,22 +302,31 @@ let submit_piece ?(prefetch = false) t g ~root ~chunk ~nrep ~size ~req_of
         | Error `Timeout -> None
       else None
   in
-  let rec resolve rounds reply =
+  let rec resolve mrounds wrounds reply =
     match reply with
-    | Some (Wrong_epoch { mepoch = srv }) when rounds < max_map_rounds ->
+    | Some (Wrong_epoch { mepoch = srv })
+      when srv > t.mepoch && mrounds < max_map_rounds ->
+      (* Genuinely stale map: the server has committed an epoch we
+         have not seen. Refetch and re-route. *)
       t.wrong_epoch_retry_count <- t.wrong_epoch_retry_count + 1;
-      (* If the rejecting server is not ahead of us, it (or we) sit in
-         the window where the Paxos apply has reached some servers but
-         not others: wait the lag out before refetching, otherwise the
-         refresh just reads the same map back. *)
-      if srv <= t.mepoch then Sim.sleep (Sim.ms 250);
       refresh_map t;
-      resolve (rounds + 1) (routed_attempt ())
+      resolve (mrounds + 1) wrounds (routed_attempt ())
+    | Some (Wrong_epoch { mepoch = srv })
+      when srv <= t.mepoch && wrounds < max_wait_rounds ->
+      (* The server is not ahead of us: either it lags the Paxos apply,
+         or the drain-time freeze of a pending transfer is holding our
+         mutation back. A refresh would just read the same map back —
+         wait it out and retry; once the cutover commits the reject
+         flips to [srv > t.mepoch] and the map branch takes over. *)
+      t.wrong_epoch_retry_count <- t.wrong_epoch_retry_count + 1;
+      t.freeze_wait_count <- t.freeze_wait_count + 1;
+      Sim.sleep (Sim.ms 250);
+      resolve mrounds (wrounds + 1) (routed_attempt ())
     | r -> r
   in
   Sim.spawn (fun () ->
       match
-        resolve 0
+        resolve 0 0
           (match Sim.Ivar.read first with
           | Ok r ->
             if not to_secondary then note_primary_ok t pi;
@@ -373,6 +399,7 @@ let create_vdisk t ~nrep = mgmt t (Create_vdisk { nrep })
 
 let add_server t ~idx = ignore (mgmt t (Add_server { idx }))
 let remove_server t ~idx = ignore (mgmt t (Remove_server { idx }))
+let delete_vdisk t ~id = ignore (mgmt t (Delete_vdisk { id }))
 
 let open_vdisk t vid =
   let order = poll_order t in
@@ -547,10 +574,15 @@ let write_scatter v ~runs ~account =
                   (List.map (fun s -> Bytes.sub s.sbuf s.spos s.slen) ss),
                 0, len )
           in
-          let expires = v.c.write_guard () in
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep
             ~size:(write_req_size dlen)
             ~req_of:(fun ~solo ->
+              (* The §6 stamp is captured per attempt, not per piece: a
+                 retry that sat out a reconfiguration freeze must carry
+                 the current lease expiry, or the stamp lapses in the
+                 wait loop and the server rejects a perfectly safe
+                 write as stale. *)
+              let expires = v.c.write_guard () in
               Write_req
                 { root = v.root; chunk; within; data; doff; dlen; solo;
                   mepoch = v.c.mepoch; expires })
@@ -593,9 +625,10 @@ let decommit_async v ~off ~len =
       List.iter
         (fun (chunk, _, _) ->
           Faultpoint.hit "petal.decommit_piece";
-          let expires = v.c.write_guard () in
           submit_piece v.c g ~root:v.root ~chunk ~nrep:v.nrep ~size:small
             ~req_of:(fun ~solo ->
+              (* Per-attempt stamp, as on the write path. *)
+              let expires = v.c.write_guard () in
               Decommit_req
                 { root = v.root; chunk; forward = not solo;
                   mepoch = v.c.mepoch; expires })

@@ -75,6 +75,13 @@ val remove_server : t -> idx:int -> unit
 (** Propose decommissioning member [idx]; same contract as
     {!add_server}. *)
 
+val delete_vdisk : t -> id:int -> unit
+(** Delete snapshot disk [id] and free the chunk versions only it
+    pinned. Raises [Failure] if [id] names a live disk or a transfer
+    is pending; deleting an already-deleted id succeeds (idempotent).
+    Deleting the last snapshot of a disk re-enables reconfiguration,
+    which is refused while any snapshot exists. *)
+
 val open_vdisk : t -> int -> vdisk
 (** Fetch the disk's metadata from the cluster and return a handle.
     Raises {!Protocol.Unavailable} if no server answers. *)
@@ -151,6 +158,10 @@ type stats = {
   probe_heals : int;  (** suspected primaries found healthy again *)
   map_refreshes : int;  (** ownership-map refetches *)
   wrong_epoch_retries : int;  (** pieces re-routed after a [Wrong_epoch] *)
+  freeze_waits : int;
+      (** wait-and-retry rounds against a server not ahead of the
+          client's map — Paxos apply lag or the drain-time write
+          freeze of a pending reconfiguration *)
 }
 
 val op_stats : vdisk -> stats

@@ -32,7 +32,18 @@ type epoch_sel = Current | At of int
     propose) are idempotent. *)
 type mgmt_cmd =
   | Create_vdisk of { nrep : int }
-  | Snapshot of { src : int }  (** Freeze [src]'s current epoch. *)
+  | Snapshot of { src : int }
+      (** Freeze [src]'s current epoch. Refused while a transfer is
+          pending: the handoff stream carries only head-version bytes,
+          so an epoch bump mid-transfer would strand the newly pinned
+          versions on the old owners. *)
+  | Delete_vdisk of { id : int }
+      (** Drop a snapshot disk and free the chunk versions only it
+          pinned. Live disks are not deletable; refused while a
+          transfer is pending (version GC must not race the handoff
+          enumeration). Deleting the last snapshot re-enables
+          reconfiguration (which {!Add_server} refuses while any
+          snapshot exists). *)
   | Add_server of { idx : int }
       (** Begin activating standby member [idx] (index into the fixed
           provisioned-member array shared by all servers). *)

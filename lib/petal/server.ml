@@ -49,6 +49,14 @@ type t = {
   mutable active : int array; (* sorted member indexes serving data *)
   mutable mepoch : int; (* committed map epoch *)
   mutable pending : pending option;
+  (* When this server's apply installed [pending]. Drives the
+     drain-time write freeze: past a grace period, client mutations of
+     chunks whose owner set actually changes are rejected with
+     [Wrong_epoch] (the client waits and retries), so the push backlog
+     can only shrink and a relentless hot-chunk writer can no longer
+     re-mark its chunk forever and defer the cutover. Also the base of
+     the per-cutover latency the soak bounds. *)
+  mutable pending_since : Sim.time;
   (* Byte ranges within chunks whose replica on [peer] is known stale
      (a degraded write happened while it was unreachable); the resync
      daemon pushes them when the peer comes back. Ranges, not whole
@@ -88,9 +96,13 @@ type t = {
   mutable stale_applied : int;
   (* Reconfiguration accounting. *)
   mutable wrong_epoch_rejects : int; (* data requests refused by the map guard *)
+  mutable freeze_rejects : int; (* mutations refused by the drain-time freeze *)
+  mutable last_cutover : Sim.time; (* pending-to-commit latency, last transfer *)
+  mutable max_cutover : Sim.time; (* worst such latency since creation *)
   mutable xfer_pushes : int; (* resync/transfer push RPCs acknowledged *)
   mutable xfer_bytes : int; (* bytes carried by those pushes *)
   mutable gc_chunks : int; (* chunks freed because ownership moved away *)
+  mutable snap_gc_chunks : int; (* versions freed by snapshot deletion *)
 }
 
 let host t = t.host
@@ -98,9 +110,13 @@ let index t = t.index
 let stale_reject_count t = t.stale_rejects
 let stale_applied_count t = t.stale_applied
 let wrong_epoch_count t = t.wrong_epoch_rejects
+let freeze_reject_count t = t.freeze_rejects
+let last_cutover_time t = t.last_cutover
+let max_cutover_time t = t.max_cutover
 let xfer_push_count t = t.xfer_pushes
 let xfer_bytes_pushed t = t.xfer_bytes
 let gc_chunk_count t = t.gc_chunks
+let snap_gc_chunk_count t = t.snap_gc_chunks
 let current_epoch t = t.mepoch
 let current_active t = Array.to_list t.active
 let pending_transfer t = t.pending <> None
@@ -363,6 +379,52 @@ let prune_degraded t =
       List.iter (Hashtbl.remove set) stale)
     t.degraded
 
+(* Free the chunk versions of [root] that no remaining snapshot pins:
+   a version survives iff it is the live head or the one some
+   remaining snapshot's frozen epoch selects (the newest version at or
+   below it — the [select_version] rule). Runs when a snapshot disk is
+   deleted; never touches the head, so it cannot race a live write. *)
+let gc_unpinned_versions t ~root =
+  let pins =
+    Hashtbl.fold
+      (fun _ (v : vinfo) acc ->
+        if v.root = root then
+          match v.frozen with Some e -> e :: acc | None -> acc
+        else acc)
+      t.vdisks []
+  in
+  let keys =
+    Hashtbl.fold
+      (fun (r, c) _ acc -> if r = root then (r, c) :: acc else acc)
+      t.chunks []
+  in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.chunks key with
+      | None -> ()
+      | Some vl ->
+        let is_head v = match !vl with h :: _ -> h == v | [] -> false in
+        let keep v =
+          is_head v
+          || List.exists
+               (fun e ->
+                 match List.find_opt (fun v' -> v'.epoch <= e) !vl with
+                 | Some v' -> v' == v
+                 | None -> false)
+               pins
+        in
+        let kept, dead = List.partition keep !vl in
+        List.iter
+          (fun v -> match v.loc with Some ext -> free_extent t ext | None -> ())
+          dead;
+        t.snap_gc_chunks <- t.snap_gc_chunks + List.length dead;
+        (* With nothing pinned beneath it, a tombstone head reads the
+           same as an absent chunk: drop the entry. *)
+        match kept with
+        | [] | [ { loc = None; _ } ] -> Hashtbl.remove t.chunks key
+        | kept -> vl := kept)
+    (List.sort compare keys)
+
 let apply t slot cmd =
   match cmd with
   | Create_vdisk { nrep } ->
@@ -373,6 +435,12 @@ let apply t slot cmd =
   | Snapshot { src } -> (
     match Hashtbl.find_opt t.vdisks src with
     | None -> Hashtbl.replace t.slot_ids slot (-1)
+    | Some _ when t.pending <> None ->
+      (* The handoff stream carries only head-version bytes: bumping
+         the CoW epoch mid-transfer would pin versions the new owners
+         never receive, stranding the snapshot on the old owners. The
+         client retries once the cutover commits. *)
+      Hashtbl.replace t.slot_ids slot (-1)
     | Some v ->
       let id = t.next_id in
       t.next_id <- t.next_id + 1;
@@ -380,6 +448,18 @@ let apply t slot cmd =
         { root = v.root; epoch = v.epoch; frozen = Some v.epoch; nrep = v.nrep };
       v.epoch <- v.epoch + 1;
       Hashtbl.replace t.slot_ids slot id)
+  | Delete_vdisk { id } -> (
+    match Hashtbl.find_opt t.vdisks id with
+    | None -> Hashtbl.replace t.slot_ids slot 0 (* already gone: idempotent *)
+    | Some { frozen = None; _ } ->
+      Hashtbl.replace t.slot_ids slot (-1) (* live disks are not deletable *)
+    | Some _ when t.pending <> None ->
+      (* Version GC must not race the handoff enumeration. *)
+      Hashtbl.replace t.slot_ids slot (-1)
+    | Some v ->
+      Hashtbl.remove t.vdisks id;
+      gc_unpinned_versions t ~root:v.root;
+      Hashtbl.replace t.slot_ids slot 0)
   | Add_server { idx } ->
     let target = sorted_add t.active idx in
     let ok =
@@ -400,6 +480,7 @@ let apply t slot cmd =
           then begin
             let p = { target; target_epoch = t.mepoch + 1 } in
             t.pending <- Some p;
+            t.pending_since <- Sim.now ();
             begin_transfer t p;
             true
           end
@@ -417,6 +498,7 @@ let apply t slot cmd =
           if Array.length target >= 2 && not (any_frozen t) then begin
             let p = { target; target_epoch = t.mepoch + 1 } in
             t.pending <- Some p;
+            t.pending_since <- Sim.now ();
             begin_transfer t p;
             true
           end
@@ -427,6 +509,9 @@ let apply t slot cmd =
     (match t.pending with
     | Some p when p.target_epoch = target ->
       trace "t=%d CUTOVER %s epoch=%d" (Sim.now ()) (Host.name t.host) target;
+      let lat = Sim.now () - t.pending_since in
+      t.last_cutover <- lat;
+      if lat > t.max_cutover then t.max_cutover <- lat;
       t.active <- p.target;
       t.mepoch <- target;
       t.pending <- None;
@@ -882,6 +967,38 @@ let reject_wrong_epoch t =
 let map_ok t ~mepoch ~root ~chunk =
   mepoch = t.mepoch && is_owner t ~root ~chunk ~nrep:(nrep_of_root t root)
 
+(* --- drain-time write freeze ------------------------------------------ *)
+
+(* How long a pending transfer relies on write lulls before the freeze
+   engages. Generous enough that an ordinary handoff (which drains in
+   a few resync ticks) never freezes anybody; short enough to bound
+   cutover latency under a relentless hot-chunk writer. *)
+let freeze_grace = Sim.sec 8.0
+
+let chunk_moving t (p : pending) ~root ~chunk =
+  let nrep = nrep_of_root t root in
+  List.sort compare (owners_under t.active ~nrep ~root ~chunk)
+  <> List.sort compare (owners_under p.target ~nrep ~root ~chunk)
+
+(* A client mutation of a chunk whose owner set actually changes is
+   refused once the transfer has been pending past the grace period:
+   every accepted write re-marks its byte range degraded toward the
+   future owners ([mark_transfer_delta]), so without the freeze a
+   sustained writer refills the push backlog every resync tick and the
+   cutover daemon never observes global drain. Frozen writers get
+   [Wrong_epoch] and wait-and-retry at the client; peer pushes
+   ([Repl_req]) are never frozen — they ARE the drain. *)
+let freeze_blocks t ~root ~chunk =
+  match t.pending with
+  | None -> false
+  | Some p ->
+    Sim.now () - t.pending_since >= freeze_grace
+    && chunk_moving t p ~root ~chunk
+
+let reject_frozen t =
+  t.freeze_rejects <- t.freeze_rejects + 1;
+  Some (Wrong_epoch { mepoch = t.mepoch }, small)
+
 (* Peer pushes are accepted only by a member that owns the chunk
    under the committed map or will own it under the pending transfer.
    The reject matters for a lagging joiner that has not yet applied
@@ -931,6 +1048,8 @@ let handler t ~src body =
       | None -> Some (Perr "media error", small))
   | Write_req { root; chunk; mepoch; _ } when not (map_ok t ~mepoch ~root ~chunk) ->
     reject_wrong_epoch t
+  | Write_req { root; chunk; _ } when freeze_blocks t ~root ~chunk ->
+    reject_frozen t
   | Write_req { expires; _ } when expired expires -> reject_stale t
   | Write_req { root; chunk; within; data; doff; dlen; solo; expires; mepoch = _ }
     -> (
@@ -1035,6 +1154,9 @@ let handler t ~src body =
   | Decommit_req { root; chunk; mepoch; _ }
     when mepoch >= 0 && not (map_ok t ~mepoch ~root ~chunk) ->
     reject_wrong_epoch t
+  | Decommit_req { root; chunk; mepoch; _ }
+    when mepoch >= 0 && freeze_blocks t ~root ~chunk ->
+    reject_frozen t
   | Decommit_req { expires; _ } when expired expires -> reject_stale t
   | Decommit_req { root; chunk; forward; expires; mepoch = _ } -> (
     let v = vdisk t root in
@@ -1121,12 +1243,17 @@ let create ~host ~rpc ~peers ~index ~disks ~stable ?active () =
         active;
         mepoch = 0;
         pending = None;
+        pending_since = 0;
         stale_rejects = 0;
         stale_applied = 0;
         wrong_epoch_rejects = 0;
+        freeze_rejects = 0;
+        last_cutover = 0;
+        max_cutover = 0;
         xfer_pushes = 0;
         xfer_bytes = 0;
         gc_chunks = 0;
+        snap_gc_chunks = 0;
       }
   in
   let t = Lazy.force t in

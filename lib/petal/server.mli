@@ -97,6 +97,21 @@ val wrong_epoch_count : t -> int
 (** Data requests refused by the ownership-map guard (stale client
     epoch, or this server not an owner of the addressed chunk). *)
 
+val freeze_reject_count : t -> int
+(** Client mutations refused by the drain-time write freeze: once a
+    transfer has been pending past a grace period, writes/decommits to
+    chunks whose owner set actually changes get [Wrong_epoch] (the
+    client waits and retries), so the push backlog can only shrink and
+    a hot-chunk writer cannot defer the cutover forever. *)
+
+val last_cutover_time : t -> Simkit.Sim.time
+(** Pending-to-commit latency of the most recent completed transfer,
+    as observed by this server's apply (0 before any cutover). *)
+
+val max_cutover_time : t -> Simkit.Sim.time
+(** Worst such latency since this server started — the quantity the
+    soak bounds under a sustained hot-chunk writer. *)
+
 val xfer_push_count : t -> int
 (** Resync/handoff push RPCs this server has had acknowledged. *)
 
@@ -106,3 +121,7 @@ val xfer_bytes_pushed : t -> int
 
 val gc_chunk_count : t -> int
 (** Chunks freed by the post-cutover ownership GC. *)
+
+val snap_gc_chunk_count : t -> int
+(** Chunk versions freed by [Delete_vdisk] because no remaining
+    snapshot pinned them. *)

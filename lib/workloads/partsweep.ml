@@ -45,11 +45,10 @@ type outcome = {
   end_ns : int;  (** simulated end time: the determinism fingerprint *)
 }
 
-let bytes_pat n seed = Bytes.init n (fun i -> Char.chr ((i * 7 + seed) land 0xff))
-
-let sweep_config = { Frangipani.Ctx.default_config with synchronous_log = true }
-
-let pp_findings fs = List.map (Format.asprintf "%a" Frangipani.Fsck.pp_finding) fs
+(* The ledger, settle loops and fsck teeth live in {!Invariants},
+   shared with the other fault harnesses. *)
+let bytes_pat = Invariants.bytes_pat
+let sweep_config = Invariants.sweep_config
 
 (* Addresses the schedules play with. The lock servers are co-located
    on the Petal machines (Figure 2), so "the service cluster" is one
@@ -226,7 +225,7 @@ let run spec =
       in
       let nf = Netfault.create ~seed:nf_seed t.net in
       Netfault.schedule nf evs;
-      let acked = ref [] and acked_n = ref 0 and failed = ref 0 in
+      let led = Invariants.ledger () and failed = ref 0 in
       let expired = ref false in
       let dir = Fs.mkdir a ~dir:Fs.root "part" in
       let wl_done = Sim.Ivar.create () in
@@ -240,13 +239,11 @@ let run spec =
                     guard); it is dropped from the acked set before
                     the attempt, since we never assert absence. *)
                  if i mod 9 = 5 then
-                   (match !acked with
-                   | (victim, _) :: rest ->
-                     acked := rest;
-                     decr acked_n;
-                     Fs.unlink a ~dir victim;
+                   (match Invariants.pop_latest led with
+                   | Some (path, _) ->
+                     Fs.unlink a ~dir (List.nth path (List.length path - 1));
                      Fs.sync a
-                   | [] -> ());
+                   | None -> ());
                  let name = Printf.sprintf "f%02d" i in
                  let f = Fs.create a ~dir name in
                  let data = bytes_pat (512 * (1 + (i mod 4))) (100 + i) in
@@ -259,20 +256,14 @@ let run spec =
                    else name
                  in
                  Fs.sync a;
-                 acked := (final, data) :: !acked;
-                 incr acked_n
-               with
-              | Locksvc.Types.Lease_expired ->
-                expired := true;
+                 Invariants.ack led ~path:[ "part"; final ] data
+               with ex ->
                 incr failed;
-                stopped := true
-              | Frangipani.Errors.Error _ | Petal.Protocol.Unavailable _
-              | Petal.Protocol.Stale_write _ | Host.Crashed _ | Failure _ ->
-                incr failed;
-                if Fs.is_poisoned a then begin
+                (match Invariants.classify a ex with
+                | Invariants.Expired ->
                   expired := true;
                   stopped := true
-                end);
+                | Invariants.Failed -> ()));
               if not !stopped then Sim.sleep (Sim.sec 1.0)
             end
           done;
@@ -284,19 +275,7 @@ let run spec =
       if Sim.now () < horizon then Sim.sleep (horizon - Sim.now ());
       Sim.sleep (Sim.sec 90.0);
       let petal_servers = t.petal.Petal.Testbed.servers in
-      let degraded () =
-        Array.fold_left
-          (fun acc s -> acc + Petal.Server.degraded_count s)
-          0 petal_servers
-      in
-      let rec drain n =
-        if degraded () = 0 || n = 0 then degraded ()
-        else begin
-          Sim.sleep (Sim.sec 5.0);
-          drain (n - 1)
-        end
-      in
-      let degraded_left = drain 24 in
+      let degraded_left = Invariants.drain_backlog petal_servers in
       let renew_misses = (Fs.lease_stats a).Locksvc.Clerk.renew_misses in
       let rpc_retries = (Fs.net_stats a).Rpc.retries in
       let clean_unmount =
@@ -309,32 +288,13 @@ let run spec =
          clerk with the table open — which is [c], just now: wait for
          the lock service's nag to reach it and the replay to finish
          before judging the volume. *)
-      if not clean_unmount then begin
-        let rec await n =
-          if n > 0 && (Fs.recovery_stats c).Fs.replays = 0 then begin
-            Sim.sleep (Sim.sec 5.0);
-            await (n - 1)
-          end
-        in
-        await 36;
-        Sim.sleep (Sim.sec 30.0)
-      end;
-      let lost =
-        List.filter_map
-          (fun (name, data) ->
-            try
-              let d = Fs.lookup c ~dir:Fs.root "part" in
-              let f = Fs.lookup c ~dir:d name in
-              let got = Fs.read c f ~off:0 ~len:(Bytes.length data) in
-              if Bytes.equal got data then None else Some (name ^ ": corrupt")
-            with _ -> Some (name ^ ": missing"))
-          (List.rev !acked)
-      in
-      let fsck_findings = pp_findings (Frangipani.Fsck.check c) in
-      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 petal_servers in
+      if not clean_unmount then Invariants.await_replay c;
+      let lost = Invariants.verify led c in
+      let fsck_findings = Invariants.fsck c in
+      let sum f = Invariants.sum f petal_servers in
       {
         label;
-        acked = !acked_n;
+        acked = Invariants.acked_count led;
         failed_ops = !failed;
         expired = !expired;
         stale_rejects = sum Petal.Server.stale_reject_count;

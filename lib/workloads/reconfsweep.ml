@@ -77,11 +77,10 @@ type outcome = {
   end_ns : int;  (** simulated end time: the determinism fingerprint *)
 }
 
-let bytes_pat n seed = Bytes.init n (fun i -> Char.chr ((i * 7 + seed) land 0xff))
-
-let sweep_config = { Frangipani.Ctx.default_config with synchronous_log = true }
-
-let pp_findings fs = List.map (Format.asprintf "%a" Frangipani.Fsck.pp_finding) fs
+(* The ledger, settle loops and fsck teeth live in {!Invariants},
+   shared with the other fault harnesses. *)
+let bytes_pat = Invariants.bytes_pat
+let sweep_config = Invariants.sweep_config
 
 (* Addresses the schedules play with. *)
 type roles = { petal : Net.addr array; a_addr : Net.addr }
@@ -364,7 +363,7 @@ let run spec =
           in
           await 240;
           Sim.Ivar.fill reconf_done ());
-      let acked = ref [] and acked_n = ref 0 and failed = ref 0 in
+      let led = Invariants.ledger () and failed = ref 0 in
       let expired = ref false in
       let dir = Fs.mkdir a ~dir:Fs.root "reconf" in
       let wl_done = Sim.Ivar.create () in
@@ -378,13 +377,11 @@ let run spec =
                     dropped from the acked set before the attempt,
                     since we never assert absence. *)
                  if i mod 9 = 5 then
-                   (match !acked with
-                   | (victim, _) :: rest ->
-                     acked := rest;
-                     decr acked_n;
-                     Fs.unlink a ~dir victim;
+                   (match Invariants.pop_latest led with
+                   | Some (path, _) ->
+                     Fs.unlink a ~dir (List.nth path (List.length path - 1));
                      Fs.sync a
-                   | [] -> ());
+                   | None -> ());
                  let name = Printf.sprintf "f%02d" i in
                  let f = Fs.create a ~dir name in
                  let data = bytes_pat (512 * (1 + (i mod 4))) (100 + i) in
@@ -397,20 +394,14 @@ let run spec =
                    else name
                  in
                  Fs.sync a;
-                 acked := (final, data) :: !acked;
-                 incr acked_n
-               with
-              | Locksvc.Types.Lease_expired ->
-                expired := true;
+                 Invariants.ack led ~path:[ "reconf"; final ] data
+               with ex ->
                 incr failed;
-                stopped := true
-              | Frangipani.Errors.Error _ | Petal.Protocol.Unavailable _
-              | Petal.Protocol.Stale_write _ | Host.Crashed _ | Failure _ ->
-                incr failed;
-                if Fs.is_poisoned a then begin
+                (match Invariants.classify a ex with
+                | Invariants.Expired ->
                   expired := true;
                   stopped := true
-                end);
+                | Invariants.Failed -> ()));
               if not !stopped then Sim.sleep (Sim.sec 1.0)
             end
           done;
@@ -423,31 +414,13 @@ let run spec =
       if Sim.now () < horizon then Sim.sleep (horizon - Sim.now ());
       Sim.sleep (Sim.sec 90.0);
       let petal_servers = t.petal.Petal.Testbed.servers in
-      let sum f = Array.fold_left (fun acc s -> acc + f s) 0 petal_servers in
-      let degraded () = sum Petal.Server.degraded_count in
-      let rec drain n =
-        if degraded () = 0 || n = 0 then degraded ()
-        else begin
-          Sim.sleep (Sim.sec 5.0);
-          drain (n - 1)
-        end
-      in
-      let degraded_left = drain 24 in
+      let sum f = Invariants.sum f petal_servers in
+      let degraded_left = Invariants.drain_backlog petal_servers in
       (* Let the GC empty decommissioned members and wait out any
          still-pending transfer. *)
-      let pending_any () =
-        Array.exists Petal.Server.pending_transfer petal_servers
+      let pending_left, leftover_chunks =
+        Invariants.settle_transfers petal_servers
       in
-      let rec gc_wait n =
-        if (pending_any () || sum Petal.Server.nonowned_chunk_count > 0) && n > 0
-        then begin
-          Sim.sleep (Sim.sec 5.0);
-          gc_wait (n - 1)
-        end
-      in
-      gc_wait 24;
-      let pending_left = pending_any () in
-      let leftover_chunks = sum Petal.Server.nonowned_chunk_count in
       (* One more write through the original driver now that the map
          has settled: its cached routing map predates any committed
          cutover, so this op deterministically exercises the client's
@@ -461,8 +434,7 @@ let run spec =
            let data = bytes_pat 768 99 in
            Fs.write a f ~off:0 data;
            Fs.sync a;
-           acked := ("post", data) :: !acked;
-           incr acked_n
+           Invariants.ack led ~path:[ "reconf"; "post" ] data
          with _ -> ());
       let final_active =
         let _, act = Petal.Client.fetch_map pc in
@@ -476,31 +448,12 @@ let run spec =
          reads exercise the [Wrong_epoch] refresh path for real; it
          must see every acked file and a fsck-clean volume. *)
       let c = Testbed.add_server t ~name:"reconf-c" () in
-      if not clean_unmount then begin
-        let rec await n =
-          if n > 0 && (Fs.recovery_stats c).Fs.replays = 0 then begin
-            Sim.sleep (Sim.sec 5.0);
-            await (n - 1)
-          end
-        in
-        await 36;
-        Sim.sleep (Sim.sec 30.0)
-      end;
-      let lost =
-        List.filter_map
-          (fun (name, data) ->
-            try
-              let d = Fs.lookup c ~dir:Fs.root "reconf" in
-              let f = Fs.lookup c ~dir:d name in
-              let got = Fs.read c f ~off:0 ~len:(Bytes.length data) in
-              if Bytes.equal got data then None else Some (name ^ ": corrupt")
-            with _ -> Some (name ^ ": missing"))
-          (List.rev !acked)
-      in
-      let fsck_findings = pp_findings (Frangipani.Fsck.check c) in
+      if not clean_unmount then Invariants.await_replay c;
+      let lost = Invariants.verify led c in
+      let fsck_findings = Invariants.fsck c in
       {
         label;
-        acked = !acked_n;
+        acked = Invariants.acked_count led;
         failed_ops = !failed;
         expired = !expired;
         requested = !requested;

@@ -652,6 +652,124 @@ let test_reconfig_serialized () =
       Alcotest.(check (list int)) "both committed in order" [ 0; 1; 2; 3; 4 ]
         (Petal.Server.current_active tb.Petal.Testbed.servers.(4)))
 
+(* The drain-time write freeze: a writer that re-dirties a moving
+   chunk on every push round would defer the cutover forever (the
+   PR-5 livelock). Past a grace period the old owners refuse its
+   writes with [Wrong_epoch]; the client waits and retries, the
+   backlog drains, and the transfer commits — bounded, with no error
+   ever surfacing to the writer. *)
+let test_freeze_bounds_hot_writer () =
+  Sim.run (fun () ->
+      let _, tb, c, _ = setup ~nservers:4 ~nactive:3 () in
+      let vid = Petal.Client.create_vdisk c ~nrep:2 in
+      let vd = Petal.Client.open_vdisk c vid in
+      let cb = Petal.Protocol.chunk_bytes in
+      (* mirror the servers' ring placement to pick a chunk whose
+         owner pair provably changes when member 3 activates *)
+      let owners act chunk =
+        let a = Array.of_list (List.sort compare act) in
+        let n = Array.length a in
+        let slot = (vid + chunk) mod n in
+        List.sort compare [ a.(slot); a.((slot + 1) mod n) ]
+      in
+      let rec moving ch =
+        if owners [ 0; 1; 2 ] ch <> owners [ 0; 1; 2; 3 ] ch then ch
+        else moving (ch + 1)
+      in
+      let off = moving 0 * cb in
+      Petal.Client.write vd ~off (bytes_pat 4096 100);
+      Petal.Client.add_server c ~idx:3;
+      (* Hammer the moving chunk until the cutover commits. Every
+         write must succeed — the freeze is invisible to the client. *)
+      let deadline = Sim.now () + Sim.sec 90.0 in
+      let k = ref 0 in
+      while
+        Petal.Server.current_active tb.Petal.Testbed.servers.(0)
+        <> [ 0; 1; 2; 3 ]
+        && Sim.now () < deadline
+      do
+        Petal.Client.write vd ~off (bytes_pat 4096 (100 + !k));
+        incr k;
+        Sim.sleep (Sim.ms 50)
+      done;
+      wait_reconfigured tb 1;
+      let sum f =
+        Array.fold_left (fun a s -> a + f s) 0 tb.Petal.Testbed.servers
+      in
+      Alcotest.(check bool) "freeze engaged" true
+        (sum Petal.Server.freeze_reject_count > 0);
+      Alcotest.(check bool) "client waited through the freeze" true
+        ((Petal.Client.op_stats vd).Petal.Client.freeze_waits > 0);
+      let worst =
+        Array.fold_left
+          (fun a s -> max a (Petal.Server.max_cutover_time s))
+          0 tb.Petal.Testbed.servers
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "cutover bounded (%.1fs)" (Sim.to_sec worst))
+        true
+        (worst > 0 && worst <= Sim.sec 40.0);
+      let got = Petal.Client.read vd ~off ~len:4096 in
+      Alcotest.(check bool) "last write survived the handoff" true
+        (Bytes.equal got (bytes_pat 4096 (100 + !k - 1))))
+
+(* Deleting a snapshot GCs the chunk versions it pinned; a live disk
+   is not deletable, and re-deleting is idempotent. *)
+let test_delete_vdisk_gc () =
+  Sim.run (fun () ->
+      let _, tb, c, _ = setup () in
+      let vid = Petal.Client.create_vdisk c ~nrep:2 in
+      let vd = Petal.Client.open_vdisk c vid in
+      let cb = Petal.Protocol.chunk_bytes in
+      for i = 0 to 5 do
+        Petal.Client.write vd ~off:(i * cb) (bytes_pat 4096 i)
+      done;
+      let sid = Petal.Client.snapshot vd in
+      (* Overwrites CoW fresh versions; the old ones stay pinned. *)
+      for i = 0 to 5 do
+        Petal.Client.write vd ~off:(i * cb) (bytes_pat 4096 (50 + i))
+      done;
+      let sum f =
+        Array.fold_left (fun a s -> a + f s) 0 tb.Petal.Testbed.servers
+      in
+      let before = sum Petal.Server.disk_bytes_allocated in
+      (match Petal.Client.delete_vdisk c ~id:vid with
+      | () -> Alcotest.fail "live vdisk deleted"
+      | exception Failure _ -> ());
+      Petal.Client.delete_vdisk c ~id:sid;
+      Alcotest.(check bool) "pinned versions GCed" true
+        (sum Petal.Server.snap_gc_chunk_count > 0);
+      Alcotest.(check bool) "space reclaimed" true
+        (sum Petal.Server.disk_bytes_allocated < before);
+      (* idempotent: the snapshot is already gone *)
+      Petal.Client.delete_vdisk c ~id:sid;
+      for i = 0 to 5 do
+        let got = Petal.Client.read vd ~off:(i * cb) ~len:4096 in
+        Alcotest.(check bool)
+          (Printf.sprintf "live chunk %d intact" i)
+          true
+          (Bytes.equal got (bytes_pat 4096 (50 + i)))
+      done)
+
+(* The other half of the snapshot/reconfiguration interlock: bumping
+   the CoW epoch mid-transfer would pin versions the handoff stream
+   never carries, so snapshot is refused while a transfer is
+   pending — and goes through once the cutover commits. *)
+let test_snapshot_refused_while_pending () =
+  Sim.run (fun () ->
+      let _, tb, c, vd = setup ~nservers:4 ~nactive:3 () in
+      let cb = Petal.Protocol.chunk_bytes in
+      for i = 0 to 47 do
+        Petal.Client.write vd ~off:(i * cb) (bytes_pat 1024 i)
+      done;
+      Petal.Client.add_server c ~idx:3;
+      (match Petal.Client.snapshot vd with
+      | _ -> Alcotest.fail "snapshot accepted mid-transfer"
+      | exception Failure _ -> ());
+      wait_reconfigured tb 1;
+      let sid = Petal.Client.snapshot vd in
+      Alcotest.(check bool) "snapshot accepted after cutover" true (sid > 0))
+
 let test_reconfig_refused_with_snapshot () =
   Sim.run (fun () ->
       let _, _, c, vd = setup ~nservers:4 ~nactive:3 () in
@@ -716,12 +834,18 @@ let () =
             test_reconfig_serialized;
           Alcotest.test_case "refused while a snapshot exists" `Quick
             test_reconfig_refused_with_snapshot;
+          Alcotest.test_case "freeze bounds a hot-chunk writer" `Quick
+            test_freeze_bounds_hot_writer;
         ] );
       ( "snapshots",
         [
           Alcotest.test_case "copy-on-write" `Quick test_snapshot_cow;
           Alcotest.test_case "survives decommit" `Quick test_snapshot_survives_decommit;
           Alcotest.test_case "two snapshots" `Quick test_two_snapshots;
+          Alcotest.test_case "delete GCs pinned versions" `Quick
+            test_delete_vdisk_gc;
+          Alcotest.test_case "refused while a transfer is pending" `Quick
+            test_snapshot_refused_while_pending;
           QCheck_alcotest.to_alcotest prop_snapshots_match_model;
         ] );
     ]
